@@ -1,0 +1,49 @@
+// Ablation: adder structure x PLB granularity.
+//
+// The granular PLB's headline feature is the one-tile full adder, which pays
+// off exactly when synthesis emits explicit full-adder cells (ripple and
+// carry-select structures). Prefix adders trade that regularity for depth.
+// This bench quantifies the interaction on both architectures.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "flow/flow.hpp"
+
+int main() {
+  using namespace vpga;
+  std::printf("== Adder architecture x PLB granularity (32-bit adders) ==\n\n");
+
+  struct Entry {
+    const char* label;
+    netlist::Netlist nl;
+  };
+  std::vector<Entry> adders;
+  adders.push_back({"ripple", designs::make_ripple_adder(32)});
+  adders.push_back({"carry-select/4", designs::make_carry_select_adder(32, 4)});
+  adders.push_back({"carry-select/8", designs::make_carry_select_adder(32, 8)});
+  adders.push_back({"kogge-stone", designs::make_prefix_adder(32)});
+
+  common::TextTable t({"adder", "arch", "PLBs", "die um2", "critical ps", "FA macros"});
+  for (auto& e : adders) {
+    for (const auto& arch :
+         {core::PlbArchitecture::granular(), core::PlbArchitecture::lut_based()}) {
+      designs::BenchmarkDesign d{e.nl, 8000.0, true};
+      const auto r = flow::run_flow(d, arch, 'b');
+      t.add_row({e.label, arch.name, std::to_string(r.plbs),
+                 common::TextTable::num(r.die_area_um2, 0),
+                 common::TextTable::num(r.critical_delay_ps, 0),
+                 std::to_string(r.compaction.config_histogram[static_cast<int>(
+                     core::ConfigKind::kFullAdder)])});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nReading: the ripple structure fuses into one-tile FA macros on the\n"
+      "granular PLB (its Section 2.2 feature, 2x denser than the LUT PLB).\n"
+      "Carry-select shares the propagate term across its speculative blocks\n"
+      "instead of forming FAs, and the prefix adder trades density for\n"
+      "logarithmic depth — both narrow the area gap but keep the granular\n"
+      "PLB's delay advantage.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 3 reproduction: the modified S3 cell covers all 256 functions.
+//
+// Exhaustively enumerates the via configurations of the modified S3 cell
+// (XOA + ND2WI + output MUX with flexible local interconnect) and shows how
+// each formerly-infeasible category is recovered.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "logic/s3.hpp"
+#include "logic/truth_table.hpp"
+
+int main() {
+  using namespace vpga;
+  const auto& m = logic::modified_s3_set3();
+  const auto a = logic::analyze_s3();
+
+  std::printf("== Figure 3: modified S3 cell coverage ==\n\n");
+  std::printf("modified S3 cell implements %d / 256 three-input functions\n",
+              logic::count(m));
+  std::printf("(paper claim: all 256)\n\n");
+
+  // Per-category recovery of the S3-infeasible functions.
+  common::TextTable t({"S3 category", "functions", "covered by modified S3"});
+  for (auto cat : {logic::S3Category::kCofactorXor, logic::S3Category::kCofactorXnor,
+                   logic::S3Category::kTwoInputXor, logic::S3Category::kTwoInputXnor,
+                   logic::S3Category::kComplementaryCofactors}) {
+    int total = 0, covered = 0;
+    for (int f = 0; f < 256; ++f) {
+      if (a.category[static_cast<std::size_t>(f)] != cat) continue;
+      ++total;
+      covered += m.test(static_cast<std::size_t>(f)) ? 1 : 0;
+    }
+    t.add_row({logic::to_string(cat), std::to_string(total), std::to_string(covered)});
+  }
+  t.print();
+
+  // Key witnesses from Section 2.2.
+  std::printf("\nwitnesses:\n");
+  std::printf("  3-input XOR  (sum of a full adder): %s\n",
+              m.test(logic::tt3::xor3().bits()) ? "covered" : "MISSING");
+  std::printf("  3-input MAJ  (carry of a full adder): %s\n",
+              m.test(logic::tt3::maj3().bits()) ? "covered" : "MISSING");
+  return logic::count(m) == 256 ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Figure 4 / Section 2.2 reproduction: full-adder packing.
+//
+// Shows that the granular PLB realizes SUM and COUT in one tile while the
+// LUT-based PLB needs two, sweeps ripple-carry adders over bit widths, and
+// lists the simultaneous packing combinations of Section 2.3.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/fa_packing.hpp"
+
+int main() {
+  using namespace vpga;
+  using core::ConfigKind;
+  const auto gran = core::PlbArchitecture::granular();
+  const auto lut = core::PlbArchitecture::lut_based();
+
+  std::printf("== Figure 4 / Section 2.2: full-adder packing ==\n\n");
+  for (const auto* arch : {&gran, &lut}) {
+    const auto plan = core::plan_full_adder(*arch);
+    std::printf("%-13s: %d PLB(s) per full adder;  carry step %.0f ps, sum %.0f ps\n",
+                arch->name.c_str(), plan.plbs, plan.carry_delay_ps, plan.sum_delay_ps);
+  }
+
+  std::printf("\nripple-carry adders (PLBs and carry-chain critical path):\n\n");
+  common::TextTable t({"bits", "granular PLBs", "granular ps", "LUT PLBs", "LUT ps",
+                       "PLB ratio"});
+  for (int bits : {4, 8, 16, 32, 64}) {
+    const auto g = core::plan_ripple_adder(gran, bits);
+    const auto l = core::plan_ripple_adder(lut, bits);
+    t.add_row({std::to_string(bits), std::to_string(g.plbs),
+               common::TextTable::num(g.critical_path_ps, 0), std::to_string(l.plbs),
+               common::TextTable::num(l.critical_path_ps, 0),
+               common::TextTable::num(static_cast<double>(l.plbs) / g.plbs, 2)});
+  }
+  t.print();
+
+  std::printf("\nSection 2.3 simultaneous packing combinations (granular PLB):\n");
+  const auto maximal = core::maximal_packings(
+      gran, {ConfigKind::kMx, ConfigKind::kNd3, ConfigKind::kNdmx, ConfigKind::kXoamx,
+             ConfigKind::kXoandmx});
+  for (const auto& combo : maximal) {
+    std::printf("  {");
+    for (std::size_t i = 0; i < combo.size(); ++i)
+      std::printf("%s%s", i ? ", " : " ", core::to_string(combo[i]));
+    std::printf(" }\n");
+  }
+  return 0;
+}

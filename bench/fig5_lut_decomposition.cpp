@@ -1,0 +1,54 @@
+// Figure 5 / Section 2.3 reproduction: the 3-LUT as three 2:1 MUXes, and the
+// delay/density advantage of the granular configurations over the LUT.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/config.hpp"
+#include "core/match.hpp"
+#include "logic/lut_decompose.hpp"
+#include "logic/s3.hpp"
+
+int main() {
+  using namespace vpga;
+  using core::ConfigKind;
+
+  std::printf("== Figure 5: 3-LUT = three re-arranged 2:1 MUXes ==\n\n");
+  int ok = 0;
+  for (int f = 0; f < 256; ++f) {
+    const logic::TruthTable tt(3, static_cast<std::uint64_t>(f));
+    if (logic::mux_tree_function(logic::decompose_lut3(tt)) == tt) ++ok;
+  }
+  std::printf("mux-tree decomposition reproduces %d / 256 LUT configurations\n\n", ok);
+
+  std::printf("configuration characteristics (load = 3 fF):\n\n");
+  common::TextTable t({"config", "coverage", "delay ps", "area um2", "vs LUT3 delay"});
+  const double lut_delay = core::config_spec(ConfigKind::kLut3).arc.delay(3.0);
+  for (auto k : {ConfigKind::kMx, ConfigKind::kNd3, ConfigKind::kNdmx, ConfigKind::kXoamx,
+                 ConfigKind::kXoandmx, ConfigKind::kLut3}) {
+    const auto& s = core::config_spec(k);
+    t.add_row({s.name, std::to_string(s.coverage.count()) + "/256",
+               common::TextTable::num(s.arc.delay(3.0), 0),
+               common::TextTable::num(s.mapped_area_um2, 1),
+               common::TextTable::num(s.arc.delay(3.0) / lut_delay, 2) + "x"});
+  }
+  t.print();
+
+  // How many of the 256 functions leave the LUT on the granular PLB, and for
+  // which configuration (the paper: "the majority of the functions ... are
+  // mapped to a NDMX or XOAMX configuration").
+  std::printf("\nwhere the granular PLB maps each 3-input function (min-area):\n\n");
+  const auto gran = core::PlbArchitecture::granular();
+  std::array<int, core::kNumConfigKinds> hist{};
+  for (int f = 0; f < 256; ++f) {
+    const auto cfg = core::min_area_config(gran, static_cast<std::uint8_t>(f));
+    if (cfg) ++hist[static_cast<std::size_t>(*cfg)];
+  }
+  common::TextTable h({"config", "functions"});
+  for (int i = 0; i < core::kNumConfigKinds; ++i)
+    if (hist[static_cast<std::size_t>(i)] > 0)
+      h.add_row({core::to_string(static_cast<ConfigKind>(i)),
+                 std::to_string(hist[static_cast<std::size_t>(i)])});
+  h.print();
+  return ok == 256 ? 0 : 1;
+}

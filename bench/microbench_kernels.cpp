@@ -1,0 +1,94 @@
+// Engineering microbenchmarks (google-benchmark): throughput of the CAD
+// kernels that dominate the flow's runtime. Not a paper figure — used to
+// keep the paper-scale benches tractable.
+
+#include <benchmark/benchmark.h>
+
+#include "aig/aig.hpp"
+#include "compact/compact.hpp"
+#include "compact/flowmap.hpp"
+#include "designs/designs.hpp"
+#include "logic/s3.hpp"
+#include "pack/packer.hpp"
+#include "place/placement.hpp"
+#include "synth/cuts.hpp"
+#include "synth/mapper.hpp"
+#include "timing/sta.hpp"
+
+namespace {
+
+using namespace vpga;
+
+void BM_S3Analysis(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(logic::analyze_s3());
+}
+BENCHMARK(BM_S3Analysis);
+
+void BM_AigConstruction(benchmark::State& state) {
+  const auto nl = designs::make_ripple_adder(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(aig::from_netlist(nl));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AigConstruction)->Arg(16)->Arg(64)->Complexity();
+
+void BM_CutEnumeration(benchmark::State& state) {
+  const auto d = designs::make_alu(static_cast<int>(state.range(0)));
+  const auto m = aig::from_netlist(d.netlist);
+  for (auto _ : state) benchmark::DoNotOptimize(synth::CutDatabase(m.aig));
+}
+BENCHMARK(BM_CutEnumeration)->Arg(8)->Arg(32);
+
+void BM_TechMap(benchmark::State& state) {
+  const auto d = designs::make_alu(static_cast<int>(state.range(0)));
+  const auto target = synth::cell_target(core::PlbArchitecture::granular());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(synth::tech_map(d.netlist, target, synth::Objective::kDelay));
+}
+BENCHMARK(BM_TechMap)->Arg(8)->Arg(32);
+
+void BM_FlowMapLabels(benchmark::State& state) {
+  const auto nl = designs::make_ripple_adder(static_cast<int>(state.range(0)));
+  const auto m = aig::from_netlist(nl);
+  for (auto _ : state) benchmark::DoNotOptimize(compact::flowmap_labels(m.aig));
+}
+BENCHMARK(BM_FlowMapLabels)->Arg(16)->Arg(64);
+
+struct Prepared {
+  netlist::Netlist nl;
+  place::Placement placed;
+};
+
+Prepared prepare(int width) {
+  const auto d = designs::make_alu(width);
+  const auto arch = core::PlbArchitecture::granular();
+  auto mapped = synth::tech_map(d.netlist, synth::cell_target(arch), synth::Objective::kDelay);
+  auto comp = compact::compact(mapped.netlist, arch);
+  Prepared p{std::move(comp.netlist), {}};
+  p.placed = place::place(p.nl);
+  return p;
+}
+
+void BM_Place(benchmark::State& state) {
+  const auto p = prepare(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(place::place(p.nl));
+}
+BENCHMARK(BM_Place)->Arg(8)->Arg(32);
+
+void BM_Pack(benchmark::State& state) {
+  const auto p = prepare(static_cast<int>(state.range(0)));
+  const auto arch = core::PlbArchitecture::granular();
+  for (auto _ : state) benchmark::DoNotOptimize(pack::pack(p.nl, p.placed, arch));
+}
+BENCHMARK(BM_Pack)->Arg(8)->Arg(32);
+
+void BM_Sta(benchmark::State& state) {
+  const auto p = prepare(static_cast<int>(state.range(0)));
+  timing::StaOptions o;
+  o.clock_period_ps = 4500;
+  for (auto _ : state) benchmark::DoNotOptimize(timing::analyze(p.nl, p.placed, o));
+}
+BENCHMARK(BM_Sta)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Ablation: dynamic power per architecture.
+//
+// The paper sizes its component cells "to give a good power-delay tradeoff"
+// and cites the VPGA LUT's power disadvantage for simple functions. This
+// bench closes the loop: switching activity from random simulation, net
+// capacitances from placement, dynamic + clock power per design per PLB.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "compact/compact.hpp"
+#include "designs/designs.hpp"
+#include "flow_bench.hpp"
+#include "place/placement.hpp"
+#include "synth/buffering.hpp"
+#include "synth/mapper.hpp"
+#include "timing/power.hpp"
+
+int main() {
+  using namespace vpga;
+  const double scale = std::min(0.5, benchharness::bench_scale());
+
+  std::printf("== Dynamic power ablation (granular vs LUT-based PLB) ==\n\n");
+  common::TextTable t({"design", "arch", "dynamic mW", "clock mW", "total mW",
+                       "avg toggle rate"});
+  double gran_total = 0.0, lut_total = 0.0;
+  for (const auto& d : designs::paper_suite(scale)) {
+    for (const auto& arch :
+         {core::PlbArchitecture::granular(), core::PlbArchitecture::lut_based()}) {
+      const auto mapped =
+          synth::tech_map(d.netlist, synth::cell_target(arch), synth::Objective::kDelay);
+      auto comp = compact::compact_from(d.netlist, mapped.netlist, arch);
+      synth::insert_buffers(comp.netlist, 8);
+      const auto placed = place::place(comp.netlist);
+      timing::PowerOptions o;
+      o.clock_period_ps = d.clock_period_ps;
+      o.cycles = 128;
+      const auto r = timing::estimate_power(comp.netlist, placed, o);
+      t.add_row({d.netlist.name(), arch.name, common::TextTable::num(r.dynamic_mw, 3),
+                 common::TextTable::num(r.clock_mw, 3), common::TextTable::num(r.total_mw, 3),
+                 common::TextTable::num(r.avg_toggle_rate, 3)});
+      (arch.name == "granular_plb" ? gran_total : lut_total) += r.total_mw;
+    }
+  }
+  t.print();
+  std::printf("\ntotal over the suite: granular %.2f mW vs LUT-based %.2f mW (%.1f%%)\n",
+              gran_total, lut_total, 100.0 * (gran_total / lut_total - 1.0));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table 1 reproduction: die area for each design under
+// {granular PLB, LUT-based PLB} x {flow a, flow b}, plus the prose claims of
+// Section 3.2 (average datapath die-area reduction, FPU maximum, Firewire
+// reversal, packing-overhead comparison).
+
+#include "flow_bench.hpp"
+
+#include "common/table.hpp"
+
+int main() {
+  using namespace vpga;
+  const auto suite = benchharness::run_suite();
+
+  std::printf("== Table 1: die-area comparison (um^2) ==\n\n");
+  common::TextTable t({"design", "granular flow a", "granular flow b", "LUT flow a",
+                       "LUT flow b", "b: gran/LUT"});
+  double datapath_reduction_sum = 0.0;
+  int datapath_count = 0;
+  double best_reduction = 0.0;
+  std::string best_design;
+  for (std::size_t i = 0; i < suite.designs.size(); ++i) {
+    const auto& c = suite.designs[i];
+    const double ratio = c.granular_b.die_area_um2 / c.lut_b.die_area_um2;
+    t.add_row({suite.names[i], common::TextTable::num(c.granular_a.die_area_um2, 0),
+               common::TextTable::num(c.granular_b.die_area_um2, 0),
+               common::TextTable::num(c.lut_a.die_area_um2, 0),
+               common::TextTable::num(c.lut_b.die_area_um2, 0),
+               common::TextTable::num(ratio, 3)});
+    if (suite.datapath[i]) {
+      datapath_reduction_sum += 1.0 - ratio;
+      ++datapath_count;
+      if (1.0 - ratio > best_reduction) {
+        best_reduction = 1.0 - ratio;
+        best_design = suite.names[i];
+      }
+    }
+  }
+  t.print();
+
+  std::printf("\n-- Section 3.2 claims --\n");
+  std::printf(
+      "datapath die-area reduction with the granular PLB: avg %.1f%% over %d designs "
+      "(paper: ~32%%), max %.1f%% on %s (paper: ~40%% on FPU)\n",
+      100.0 * datapath_reduction_sum / std::max(1, datapath_count), datapath_count,
+      100.0 * best_reduction, best_design.c_str());
+
+  // Firewire reversal (sequential-dominated).
+  for (std::size_t i = 0; i < suite.designs.size(); ++i) {
+    if (suite.datapath[i]) continue;
+    const auto& c = suite.designs[i];
+    std::printf("%s (control/sequential): granular/LUT area = %.3f (paper: granular larger)\n",
+                suite.names[i].c_str(), c.granular_b.die_area_um2 / c.lut_b.die_area_um2);
+  }
+
+  // Packing overhead flow a -> flow b.
+  double overhead_drop_sum = 0.0;
+  double best_drop = -1e9;
+  std::string best_drop_design;
+  std::printf("\nflow a -> flow b die-area overhead (the cost of the packing step):\n");
+  for (std::size_t i = 0; i < suite.designs.size(); ++i) {
+    const auto& c = suite.designs[i];
+    const double og = c.granular_b.die_area_um2 / c.granular_a.die_area_um2 - 1.0;
+    const double ol = c.lut_b.die_area_um2 / c.lut_a.die_area_um2 - 1.0;
+    const double drop = ol > 0 ? 1.0 - og / ol : 0.0;
+    overhead_drop_sum += drop;
+    if (drop > best_drop) {
+      best_drop = drop;
+      best_drop_design = suite.names[i];
+    }
+    std::printf("  %-16s granular +%.1f%%  LUT +%.1f%%  (granular has %.1f%% less overhead)\n",
+                suite.names[i].c_str(), 100 * og, 100 * ol, 100 * drop);
+  }
+  std::printf(
+      "average: granular PLB has %.1f%% less packing overhead (paper: 48.4%%), "
+      "max %.1f%% on %s (paper: 88.6%% on Network switch)\n",
+      100.0 * overhead_drop_sum / static_cast<double>(suite.designs.size()), 100.0 * best_drop,
+      best_drop_design.c_str());
+
+  std::printf("\ncompaction gate-area reduction (Section 3.1 claim ~15%%):\n");
+  for (std::size_t i = 0; i < suite.designs.size(); ++i) {
+    const auto& c = suite.designs[i];
+    std::printf("  %-16s granular %.1f%%  LUT %.1f%%\n", suite.names[i].c_str(),
+                100 * c.granular_b.compaction.area_reduction(),
+                100 * c.lut_b.compaction.area_reduction());
+  }
+  return 0;
+}

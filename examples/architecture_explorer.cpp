@@ -1,0 +1,54 @@
+// Architecture exploration: define a custom PLB and evaluate it against the
+// paper's two architectures — the workflow the paper proposes for
+// "application-domain specific" logic block design (Section 4).
+//
+//   $ build/examples/architecture_explorer [alu|firewire|adder]
+
+#include <cstdio>
+#include <cstring>
+
+#include "flow/flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vpga;
+  using core::ConfigKind;
+  using core::PlbComponent;
+
+  const char* which = argc > 1 ? argv[1] : "alu";
+  designs::BenchmarkDesign design = [&] {
+    if (std::strcmp(which, "firewire") == 0) return designs::make_firewire(8, 8);
+    if (std::strcmp(which, "adder") == 0)
+      return designs::BenchmarkDesign{designs::make_ripple_adder(32), 8000.0, true};
+    return designs::make_alu(16);
+  }();
+  std::printf("exploring architectures for %s\n\n", design.netlist.name().c_str());
+
+  // A custom candidate: a controller-oriented granular PLB — two flip-flops
+  // per tile, same combinational fabric. Any component/config/area mix can
+  // be described this way.
+  core::PlbArchitecture custom;
+  custom.name = "custom_ctrl_plb";
+  custom.component_count[static_cast<std::size_t>(PlbComponent::kXoa)] = 1;
+  custom.component_count[static_cast<std::size_t>(PlbComponent::kMux)] = 2;
+  custom.component_count[static_cast<std::size_t>(PlbComponent::kNd3)] = 1;
+  custom.component_count[static_cast<std::size_t>(PlbComponent::kDff)] = 2;
+  custom.configs = {ConfigKind::kMx,    ConfigKind::kNd3,     ConfigKind::kNdmx,
+                    ConfigKind::kXoamx, ConfigKind::kXoandmx, ConfigKind::kFf,
+                    ConfigKind::kFullAdder};
+  custom.tile_area_um2 = 112.0;  // granular + one extra DFF slot
+  custom.comb_area_um2 = 63.3;
+
+  std::printf("%-16s %10s %8s %12s %12s\n", "architecture", "die um2", "PLBs",
+              "critical ps", "slack10 ps");
+  for (const auto& arch : {custom, core::PlbArchitecture::granular(),
+                           core::PlbArchitecture::lut_based()}) {
+    const auto r = flow::run_flow(design, arch, 'b');
+    std::printf("%-16s %10.0f %8d %12.0f %12.1f\n", arch.name.c_str(), r.die_area_um2,
+                r.plbs, r.critical_delay_ps, r.avg_slack_top10_ps);
+  }
+
+  std::printf(
+      "\nEdit this file to try other mixes: component counts, configuration\n"
+      "sets and tile geometry are all plain data (core::PlbArchitecture).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// NPN coverage report: which *kinds* of 3-input logic each PLB element and
+// configuration captures — the function-class lens the paper's predecessor
+// studies used to motivate heterogeneous logic blocks.
+//
+//   $ build/examples/npn_coverage_report
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/config.hpp"
+#include "logic/npn.hpp"
+#include "logic/s3.hpp"
+
+int main() {
+  using namespace vpga;
+  using core::ConfigKind;
+
+  const auto& classes = logic::npn_classes();
+  std::printf("The 256 three-input functions form %zu NPN classes:\n\n",
+              classes.size());
+
+  struct Column {
+    const char* label;
+    logic::FnSet3 set;
+  };
+  const std::vector<Column> columns = {
+      {"ND3", core::config_spec(ConfigKind::kNd3).coverage},
+      {"MX", core::config_spec(ConfigKind::kMx).coverage},
+      {"NDMX", core::config_spec(ConfigKind::kNdmx).coverage},
+      {"XOAMX", core::config_spec(ConfigKind::kXoamx).coverage},
+      {"S3", logic::analyze_s3().feasible},
+      {"mod-S3", logic::modified_s3_set3()},
+  };
+
+  common::TextTable t({"NPN class", "size", "ND3", "MX", "NDMX", "XOAMX", "S3", "mod-S3"});
+  std::vector<std::vector<double>> cov;
+  for (const auto& col : columns) cov.push_back(logic::npn_coverage(col.set));
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    std::vector<std::string> row = {classes[i].name, std::to_string(classes[i].size)};
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      const double v = cov[c][i];
+      row.push_back(v == 1.0 ? "full" : v == 0.0 ? "-" : common::TextTable::num(100 * v, 0) + "%");
+    }
+    t.add_row(row);
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: the designated-select S3 gate covers most classes only\n"
+      "partially (pin roles break NPN symmetry); the modified S3 — the\n"
+      "granular PLB's XOANDMX configuration — covers every class, which is\n"
+      "the paper's Figure 3 claim seen through the NPN lens.\n");
+  return 0;
+}

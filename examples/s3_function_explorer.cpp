@@ -1,0 +1,65 @@
+// S3 function explorer: classify any 3-input function the way Section 2
+// does, and show how each PLB would implement it.
+//
+//   $ build/examples/s3_function_explorer 96        # 3-input XOR (tt 0x96)
+//   $ build/examples/s3_function_explorer           # a guided tour
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/match.hpp"
+#include "logic/lut_decompose.hpp"
+#include "logic/s3.hpp"
+
+namespace {
+
+void explore(std::uint8_t tt) {
+  using namespace vpga;
+  const logic::TruthTable f(3, tt);
+  std::printf("f = 0x%02X  rows(abc=000..111): %s  support %d\n", tt,
+              f.to_string().c_str(), f.support_size());
+
+  const auto a = logic::analyze_s3();
+  std::printf("  S3 gate:        %s\n", logic::to_string(a.category[tt]));
+  std::printf("  modified S3:    %s\n",
+              logic::modified_s3_set3().test(tt) ? "implementable" : "not implementable");
+
+  for (const auto& arch :
+       {core::PlbArchitecture::granular(), core::PlbArchitecture::lut_based()}) {
+    const auto cfg = core::min_area_config(arch, tt);
+    const auto fast = core::min_delay_config(arch, tt);
+    if (cfg) {
+      std::printf("  %-13s: min-area %s (%.1f um2), min-delay %s (%.0f ps @3fF)\n",
+                  arch.name.c_str(), core::config_spec(*cfg).name.c_str(),
+                  core::config_spec(*cfg).mapped_area_um2,
+                  core::config_spec(*fast).name.c_str(),
+                  core::config_spec(*fast).arc.delay(3.0));
+    } else {
+      std::printf("  %-13s: needs multiple levels\n", arch.name.c_str());
+    }
+  }
+
+  // The Figure-5 LUT realization, for reference.
+  const auto r = logic::decompose_lut3(f);
+  std::printf("  3-LUT mux tree leaves (d00 d01 d10 d11): %s %s %s %s\n\n",
+              logic::to_string(r.leaf[0]), logic::to_string(r.leaf[1]),
+              logic::to_string(r.leaf[2]), logic::to_string(r.leaf[3]));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vpga;
+  if (argc > 1) {
+    explore(static_cast<std::uint8_t>(std::strtoul(argv[1], nullptr, 16)));
+    return 0;
+  }
+  std::printf("== a guided tour of Section 2's key functions ==\n\n");
+  explore(static_cast<std::uint8_t>(logic::tt3::nand3().bits()));  // simple gate
+  explore(static_cast<std::uint8_t>(logic::tt3::mux().bits()));    // 2:1 mux
+  explore(static_cast<std::uint8_t>((logic::tt3::a() ^ logic::tt3::b()).bits()));
+  explore(static_cast<std::uint8_t>(logic::tt3::xor3().bits()));   // FA sum
+  explore(static_cast<std::uint8_t>(logic::tt3::maj3().bits()));   // FA carry
+  std::printf("pass a hex truth table (e.g. `s3_function_explorer e8`) to explore more.\n");
+  return 0;
+}

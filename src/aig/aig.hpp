@@ -1,0 +1,113 @@
+#pragma once
+/// \file aig.hpp
+/// And-inverter graph: the subject graph of logic optimization and mapping.
+///
+/// The AIG is purely combinational; sequential designs are handled by cutting
+/// at register boundaries. Combinational inputs are the primary inputs
+/// followed by the latch outputs; combinational outputs are the primary
+/// outputs followed by the latch next-state functions. Structural hashing,
+/// constant folding and trivial-node rules are applied on construction, which
+/// is where most of the "logic optimization" of the paper's Design Compiler
+/// stage happens in this reproduction (the rest is the balance pass).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/truth_table.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vpga::aig {
+
+/// A literal: node index << 1 | complemented.
+using Lit = std::uint32_t;
+
+constexpr Lit lit(std::uint32_t node, bool complemented) {
+  return (node << 1) | (complemented ? 1u : 0u);
+}
+constexpr std::uint32_t node_of(Lit l) { return l >> 1; }
+constexpr bool is_complemented(Lit l) { return l & 1u; }
+constexpr Lit negate(Lit l) { return l ^ 1u; }
+
+/// The constant-false literal (node 0 is the constant node).
+inline constexpr Lit kFalse = 0;
+inline constexpr Lit kTrue = 1;
+
+class Aig {
+ public:
+  struct Node {
+    Lit fanin0 = 0;  ///< valid for AND nodes only
+    Lit fanin1 = 0;
+    bool is_and = false;  ///< false: constant (node 0) or combinational input
+  };
+
+  Aig();
+
+  /// --- construction ----------------------------------------------------------
+
+  /// Adds a combinational input (PI or latch output) and returns its literal.
+  Lit add_input();
+  /// Structurally hashed AND with constant folding; may return an existing
+  /// literal or a constant.
+  Lit add_and(Lit a, Lit b);
+  Lit add_or(Lit a, Lit b) { return negate(add_and(negate(a), negate(b))); }
+  Lit add_xor(Lit a, Lit b);
+  Lit add_mux(Lit sel, Lit d0, Lit d1);
+  /// Builds an arbitrary function over the given leaf literals by Shannon
+  /// decomposition (hashed, so shared subfunctions collapse).
+  Lit build_function(const logic::TruthTable& f, std::span<const Lit> leaves);
+  /// Registers a combinational output.
+  void add_output(Lit l) { outputs_.push_back(l); }
+
+  /// --- access -----------------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_inputs() const { return inputs_.size(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<Lit>& outputs() const { return outputs_; }
+  [[nodiscard]] const Node& node(std::uint32_t i) const { return nodes_[i]; }
+  [[nodiscard]] bool is_input(std::uint32_t i) const {
+    return !nodes_[i].is_and && i != 0;
+  }
+
+  /// Number of AND nodes reachable from the outputs (the classic size metric).
+  [[nodiscard]] std::size_t count_reachable_ands() const;
+  /// level[i] = AND-depth of node i (inputs at 0).
+  [[nodiscard]] std::vector<int> levels() const;
+  [[nodiscard]] int depth() const;
+
+  /// Evaluates the whole AIG for one input assignment (bit i of `in` = input
+  /// i); used by the property tests. Returns one bool per output.
+  [[nodiscard]] std::vector<bool> eval(const std::vector<bool>& in) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> inputs_;
+  std::vector<Lit> outputs_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+};
+
+/// Correspondence between a netlist and its AIG.
+struct AigMapping {
+  Aig aig;
+  /// Combinational input i of the AIG corresponds to:
+  ///   i < num_pis            -> netlist input i
+  ///   otherwise              -> netlist dff (i - num_pis) output
+  std::size_t num_pis = 0;
+  std::size_t num_latches = 0;
+  /// Combinational output j corresponds to:
+  ///   j < num_pos            -> netlist output j
+  ///   otherwise              -> D input of dff (j - num_pos)
+  std::size_t num_pos = 0;
+};
+
+/// Converts a (generic or mapped) netlist into an AIG, cutting at registers.
+AigMapping from_netlist(const netlist::Netlist& nl);
+
+/// Rebuilds a generic netlist (2-input gates + DFFs) from an AIG mapping —
+/// primarily for simulation-based equivalence checks.
+netlist::Netlist to_netlist(const AigMapping& m, const std::string& name = "from_aig");
+
+}  // namespace vpga::aig

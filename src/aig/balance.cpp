@@ -1,0 +1,91 @@
+#include "aig/balance.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace vpga::aig {
+namespace {
+
+/// Collects the leaves of the maximal AND-tree rooted at `root` in graph `g`:
+/// expands through non-complemented AND fanins that have a single reference
+/// (duplicating shared or complemented subtrees would change area).
+void collect_leaves(const Aig& g, const std::vector<int>& refs, Lit root,
+                    std::vector<Lit>& leaves, int depth = 0) {
+  const auto node = node_of(root);
+  if (is_complemented(root) || !g.node(node).is_and || refs[node] > 1 || depth > 512) {
+    leaves.push_back(root);
+    return;
+  }
+  collect_leaves(g, refs, g.node(node).fanin0, leaves, depth + 1);
+  collect_leaves(g, refs, g.node(node).fanin1, leaves, depth + 1);
+}
+
+}  // namespace
+
+BalanceResult balance(const Aig& g) {
+  BalanceResult out;
+  out.depth_before = g.depth();
+
+  // Reference counts (fanout) per node.
+  std::vector<int> refs(g.num_nodes(), 0);
+  for (std::uint32_t n = 0; n < g.num_nodes(); ++n) {
+    if (!g.node(n).is_and) continue;
+    ++refs[node_of(g.node(n).fanin0)];
+    ++refs[node_of(g.node(n).fanin1)];
+  }
+  for (Lit o : g.outputs()) ++refs[node_of(o)];
+
+  Aig b;
+  std::vector<Lit> remap(g.num_nodes(), kFalse);
+  for (std::uint32_t n = 1; n < g.num_nodes(); ++n)
+    if (g.is_input(n)) remap[n] = b.add_input();
+
+  // Level-aware rebuild: nodes in index order (topological).
+  std::vector<int> level_in_b;  // level per b-node, maintained lazily
+  auto level_of = [&](Lit l) {
+    const auto lv = b.levels();
+    return lv[node_of(l)];
+  };
+  (void)level_of;
+
+  for (std::uint32_t n = 1; n < g.num_nodes(); ++n) {
+    if (!g.node(n).is_and) continue;
+    // Every AND is rebuilt from its maximal tree's leaves; interior
+    // single-fanout nodes get their remap entry too (harmless — unused
+    // entries are dropped by downstream reachability).
+    std::vector<Lit> leaves;
+    collect_leaves(g, refs, g.node(n).fanin0, leaves);
+    collect_leaves(g, refs, g.node(n).fanin1, leaves);
+    // Map leaves into b and combine shallow-first (Huffman on level).
+    std::vector<std::pair<int, Lit>> heap;
+    const auto levels_b = b.levels();
+    for (Lit l : leaves) {
+      const Lit m = remap[node_of(l)] ^ (l & 1u);
+      heap.emplace_back(levels_b[node_of(m)], m);
+    }
+    while (heap.size() > 1) {
+      std::sort(heap.begin(), heap.end(),
+                [](const auto& a, const auto& c) { return a.first > c.first; });
+      const auto x = heap.back();
+      heap.pop_back();
+      const auto y = heap.back();
+      heap.pop_back();
+      const Lit combined = b.add_and(x.second, y.second);
+      heap.emplace_back(std::max(x.first, y.first) + 1, combined);
+    }
+    remap[n] = heap[0].second;
+  }
+
+  for (Lit o : g.outputs()) {
+    const Lit m = node_of(o) == 0 ? (is_complemented(o) ? kTrue : kFalse)
+                                  : (remap[node_of(o)] ^ (o & 1u));
+    b.add_output(m);
+  }
+  out.depth_after = b.depth();
+  out.aig = std::move(b);
+  return out;
+}
+
+}  // namespace vpga::aig

@@ -1,0 +1,26 @@
+#pragma once
+/// \file balance.hpp
+/// Delay balancing of AND/OR trees.
+///
+/// Generators and Shannon expansion can leave skewed gate chains; this pass
+/// collects maximal same-operation trees (through complemented-edge De Morgan
+/// boundaries it stops) and rebuilds them as balanced trees, reducing AIG
+/// depth without changing functionality. Offered as an optional optimization
+/// ahead of mapping (the default flow's structures are already balanced by
+/// construction, so it is not wired in by default).
+
+#include "aig/aig.hpp"
+
+namespace vpga::aig {
+
+struct BalanceResult {
+  Aig aig;
+  int depth_before = 0;
+  int depth_after = 0;
+};
+
+/// Rebuilds `g` with every maximal AND-tree balanced. Inputs keep their
+/// order; outputs correspond one-to-one.
+BalanceResult balance(const Aig& g);
+
+}  // namespace vpga::aig

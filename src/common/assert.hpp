@@ -1,0 +1,33 @@
+#pragma once
+/// \file assert.hpp
+/// Checked assertions that stay enabled in release builds.
+///
+/// EDA data structures carry invariants (acyclicity, pin counts, resource
+/// budgets) whose violation would silently corrupt downstream results, so we
+/// keep the checks on in every build type and fail loudly with location info.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vpga::common {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "VPGA_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace vpga::common
+
+/// Always-on assertion. Use for invariants whose violation would corrupt results.
+#define VPGA_ASSERT(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) ::vpga::common::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+/// Always-on assertion with an explanatory message.
+#define VPGA_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) ::vpga::common::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

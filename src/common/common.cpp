@@ -1,0 +1,5 @@
+// Anchor translation unit for the header-only vpga_common library.
+#include "common/assert.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"

@@ -1,0 +1,48 @@
+#pragma once
+/// \file ids.hpp
+/// Strongly typed index handles.
+///
+/// Netlists, grids, and libraries are all index-based arenas. Raw size_t
+/// indices invite cross-container mixups, so each arena gets its own ID type
+/// via the Id<Tag> template. IDs are trivially copyable, hashable, ordered,
+/// and have an explicit invalid state.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace vpga::common {
+
+/// A typed wrapper around a 32-bit index. Tag is any (possibly incomplete)
+/// type used purely for type distinction.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : v_(v) {}
+  constexpr explicit Id(std::size_t v) : v_(static_cast<value_type>(v)) {}
+
+  [[nodiscard]] constexpr value_type value() const { return v_; }
+  [[nodiscard]] constexpr std::size_t index() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.v_ < b.v_; }
+
+ private:
+  value_type v_ = kInvalid;
+};
+
+}  // namespace vpga::common
+
+template <typename Tag>
+struct std::hash<vpga::common::Id<Tag>> {
+  std::size_t operator()(vpga::common::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

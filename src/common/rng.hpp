@@ -1,0 +1,76 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation (xoshiro256**).
+///
+/// Every stochastic stage in the flow (annealing, router tie-breaks, workload
+/// generators, randomized property tests) draws from this generator with an
+/// explicit seed so that all experiments are reproducible bit-for-bit.
+
+#include <cstdint>
+
+namespace vpga::common {
+
+/// xoshiro256** by Blackman & Vigna; public-domain algorithm.
+/// Small, fast, and high quality; deliberately not std::mt19937 so results
+/// are identical across standard-library implementations.
+class Rng {
+ public:
+  /// Seeds the state from a single 64-bit value via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    auto splitmix = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : state_) s = splitmix();
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with probability p.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4];
+};
+
+}  // namespace vpga::common

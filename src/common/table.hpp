@@ -1,0 +1,60 @@
+#pragma once
+/// \file table.hpp
+/// Minimal fixed-column text-table printer used by the bench harnesses so
+/// every reproduced table/figure prints in a consistent, diff-friendly form.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vpga::common {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+ public:
+  /// Starts a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Adds one row; missing cells print empty, extra cells are kept.
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  /// Renders the table to the stream with a header separator line.
+  void print(std::ostream& os = std::cout) const {
+    std::size_t ncols = headers_.size();
+    for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+    std::vector<std::size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+    };
+    widen(headers_);
+    for (const auto& r : rows_) widen(r);
+
+    auto emit = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < ncols; ++c) {
+        const std::string cell = c < r.size() ? r[c] : std::string{};
+        os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cell;
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& r : rows_) emit(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vpga::common

@@ -1,0 +1,85 @@
+#include "compact/fa_fusion.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace vpga::compact {
+
+const logic::FnSet3& majority_family() {
+  static const logic::FnSet3 fam = [] {
+    logic::FnSet3 out;
+    // Closure of maj3 under input negations and output complement.
+    for (unsigned negs = 0; negs < 8; ++negs) {
+      logic::TruthTable t = logic::tt3::maj3();
+      for (int v = 0; v < 3; ++v)
+        if (negs & (1u << v)) t = t.negate_var(v);
+      out.set(static_cast<std::size_t>(t.bits()));
+      out.set(static_cast<std::size_t>((~t).bits()));
+    }
+    return out;
+  }();
+  return fam;
+}
+
+int fuse_full_adders(netlist::Netlist& nl, const core::PlbArchitecture& arch) {
+  if (!arch.supports(core::ConfigKind::kFullAdder)) return 0;
+
+  const auto is_sum = [](const netlist::Node& n) {
+    if (n.type != netlist::NodeType::kComb || n.func.num_vars() != 3) return false;
+    const auto tt = static_cast<std::uint8_t>(n.func.bits());
+    return tt == 0x96 || tt == 0x69;  // xor3 / xnor3
+  };
+  const auto is_carry = [](const netlist::Node& n) {
+    if (n.type != netlist::NodeType::kComb || n.func.num_vars() != 3) return false;
+    return majority_family().test(static_cast<std::size_t>(n.func.bits()));
+  };
+
+  // Group 3-input config nodes by their (sorted) fanin triple.
+  using Key = std::array<std::uint32_t, 3>;
+  std::map<Key, std::vector<netlist::NodeId>> sums, carries;
+  for (netlist::NodeId id : nl.all_nodes()) {
+    const auto& n = nl.node(id);
+    if (!n.has_config() || n.in_macro() || n.fanins.size() != 3) continue;
+    Key k{n.fanins[0].value(), n.fanins[1].value(), n.fanins[2].value()};
+    std::sort(k.begin(), k.end());
+    if (is_sum(n)) sums[k].push_back(id);
+    else if (is_carry(n)) carries[k].push_back(id);
+  }
+
+  int fused = 0;
+  const auto fa_tag = static_cast<std::uint8_t>(core::ConfigKind::kFullAdder);
+  for (auto& [key, sum_ids] : sums) {
+    auto it = carries.find(key);
+    if (it == carries.end()) continue;
+    auto& carry_ids = it->second;
+    while (!sum_ids.empty() && !carry_ids.empty()) {
+      const netlist::NodeId s = sum_ids.back();
+      const netlist::NodeId c = carry_ids.back();
+      sum_ids.pop_back();
+      carry_ids.pop_back();
+      nl.node(s).config_tag = fa_tag;
+      nl.node(s).macro_rep = s;
+      nl.node(c).config_tag = fa_tag;
+      nl.node(c).macro_rep = s;
+      ++fused;
+    }
+  }
+  // The compaction cover may speculatively tag FA-half supernodes; any that
+  // found no partner revert to the XOAMX configuration (which covers both
+  // XOR3/XNOR3 and the majority family).
+  for (netlist::NodeId id : nl.all_nodes()) {
+    auto& n = nl.node(id);
+    if (n.type != netlist::NodeType::kComb || n.in_macro()) continue;
+    if (n.config_tag != fa_tag) continue;
+    VPGA_ASSERT_MSG(core::config_spec(core::ConfigKind::kXoamx)
+                        .coverage.test(static_cast<std::size_t>(
+                            n.func.num_vars() == 3 ? n.func.bits() : 0)),
+                    "unpaired FA-half not realizable as XOAMX");
+    n.config_tag = static_cast<std::uint8_t>(core::ConfigKind::kXoamx);
+  }
+  return fused;
+}
+
+}  // namespace vpga::compact

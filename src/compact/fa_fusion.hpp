@@ -1,0 +1,28 @@
+#pragma once
+/// \file fa_fusion.hpp
+/// Full-adder fusion (paper Section 2.2).
+///
+/// The granular PLB's defining capability is producing SUM and COUT of a
+/// full adder from a single tile: the XOA computes P = A xor B once and both
+/// the SUM mux and the COUT mux reuse it. After configuration covering, this
+/// pass finds (sum, carry) node pairs over the same three fanins — the sum an
+/// XOR3/XNOR3, the carry in the majority family (programmable input polarity
+/// makes subtractor carries eligible too) — and fuses them into a full-adder
+/// macro: both nodes get the FA configuration tag and a shared macro
+/// representative, which the packer places atomically in one tile.
+
+#include "core/plb.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vpga::compact {
+
+/// Fuses eligible (sum, carry) pairs in a compacted netlist. No-op (returns
+/// 0) when the architecture has no full-adder configuration. Returns the
+/// number of fused pairs.
+int fuse_full_adders(netlist::Netlist& nl, const core::PlbArchitecture& arch);
+
+/// The truth tables of a majority gate under all input/output programmable
+/// inversions (the carry functions a full-adder macro can realize).
+const logic::FnSet3& majority_family();
+
+}  // namespace vpga::compact

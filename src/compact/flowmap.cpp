@@ -1,0 +1,198 @@
+#include "compact/flowmap.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace vpga::compact {
+namespace {
+
+using aig::Aig;
+
+/// Unit-capacity node-cut feasibility network for one labeling query.
+///
+/// Construction (see header): traverse the cone of `target` downward; nodes
+/// with label == p are internal (uncuttable, infinite capacity), the first
+/// node on each path with label <= p-1 is a boundary node (capacity 1, fed by
+/// the source). Max-flow <= k iff a k-feasible cut at height p-1 exists; the
+/// saturated boundary nodes reachable from the source form that cut.
+class CutFeasibility {
+ public:
+  CutFeasibility(const Aig& g, std::uint32_t target, const std::vector<int>& labels,
+                 int p)
+      : g_(g), labels_(labels), p_(p) {
+    source_ = new_vertex();
+    sink_ = new_vertex();
+    collect(target, sink_);
+  }
+
+  /// Runs augmentations until flow exceeds `k` or no path remains.
+  /// Returns the achieved flow, capped at k+1.
+  int max_flow(int k) {
+    int flow = 0;
+    while (flow <= k && augment()) ++flow;
+    return flow;
+  }
+
+  /// Boundary nodes forming the min cut (call after max_flow() <= k).
+  [[nodiscard]] std::vector<std::uint32_t> min_cut_leaves() const {
+    // Residual reachability from the source.
+    std::vector<char> reach(adj_.size(), 0);
+    std::queue<int> q;
+    q.push(source_);
+    reach[static_cast<std::size_t>(source_)] = 1;
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (const int ei : adj_[static_cast<std::size_t>(v)]) {
+        const Edge& e = edges_[static_cast<std::size_t>(ei)];
+        if (e.cap > e.flow && !reach[static_cast<std::size_t>(e.to)]) {
+          reach[static_cast<std::size_t>(e.to)] = 1;
+          q.push(e.to);
+        }
+      }
+    }
+    std::vector<std::uint32_t> leaves;
+    for (const auto& [node, vpair] : boundary_) {
+      // Cut leaf: in-vertex reachable, out-vertex not (split edge saturated).
+      if (reach[static_cast<std::size_t>(vpair.first)] &&
+          !reach[static_cast<std::size_t>(vpair.second)])
+        leaves.push_back(node);
+    }
+    std::sort(leaves.begin(), leaves.end());
+    return leaves;
+  }
+
+ private:
+  struct Edge {
+    int to;
+    int cap;
+    int flow = 0;
+    int rev;  // index of the reverse edge
+  };
+
+  static constexpr int kInf = 1 << 20;
+
+  int new_vertex() {
+    adj_.emplace_back();
+    return static_cast<int>(adj_.size() - 1);
+  }
+
+  void add_edge(int from, int to, int cap) {
+    adj_[static_cast<std::size_t>(from)].push_back(static_cast<int>(edges_.size()));
+    edges_.push_back({to, cap, 0, static_cast<int>(edges_.size() + 1)});
+    adj_[static_cast<std::size_t>(to)].push_back(static_cast<int>(edges_.size()));
+    edges_.push_back({from, 0, 0, static_cast<int>(edges_.size() - 1)});
+  }
+
+  /// Returns the local out-vertex of `node`, building its subnetwork once.
+  int vertex_for(std::uint32_t node) {
+    if (labels_[node] <= p_ - 1 || !g_.node(node).is_and) {
+      if (auto it = boundary_.find(node); it != boundary_.end()) return it->second.second;
+      const int in = new_vertex();
+      const int out = new_vertex();
+      add_edge(in, out, 1);       // unit node capacity: candidate cut leaf
+      add_edge(source_, in, kInf);
+      boundary_.emplace(node, std::make_pair(in, out));
+      return out;
+    }
+    if (auto it = internal_.find(node); it != internal_.end()) return it->second;
+    const int v = new_vertex();  // internal label-p node: uncuttable
+    internal_.emplace(node, v);
+    collect(node, v);
+    return v;
+  }
+
+  /// Wires both fanins of AND `node` into local vertex `v`.
+  void collect(std::uint32_t node, int v) {
+    const auto& n = g_.node(node);
+    VPGA_ASSERT(n.is_and);
+    add_edge(vertex_for(aig::node_of(n.fanin0)), v, kInf);
+    add_edge(vertex_for(aig::node_of(n.fanin1)), v, kInf);
+  }
+
+  bool augment() {
+    std::vector<int> prev_edge(adj_.size(), -1);
+    std::vector<char> seen(adj_.size(), 0);
+    std::queue<int> q;
+    q.push(source_);
+    seen[static_cast<std::size_t>(source_)] = 1;
+    while (!q.empty() && !seen[static_cast<std::size_t>(sink_)]) {
+      const int v = q.front();
+      q.pop();
+      for (const int ei : adj_[static_cast<std::size_t>(v)]) {
+        const Edge& e = edges_[static_cast<std::size_t>(ei)];
+        if (e.cap > e.flow && !seen[static_cast<std::size_t>(e.to)]) {
+          seen[static_cast<std::size_t>(e.to)] = 1;
+          prev_edge[static_cast<std::size_t>(e.to)] = ei;
+          q.push(e.to);
+        }
+      }
+    }
+    if (!seen[static_cast<std::size_t>(sink_)]) return false;
+    for (int v = sink_; v != source_;) {
+      Edge& e = edges_[static_cast<std::size_t>(prev_edge[static_cast<std::size_t>(v)])];
+      e.flow += 1;
+      edges_[static_cast<std::size_t>(e.rev)].flow -= 1;
+      v = edges_[static_cast<std::size_t>(e.rev)].to;
+    }
+    return true;
+  }
+
+  const Aig& g_;
+  const std::vector<int>& labels_;
+  int p_;
+  int source_ = -1, sink_ = -1;
+  std::vector<std::vector<int>> adj_;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::uint32_t, std::pair<int, int>> boundary_;
+  std::unordered_map<std::uint32_t, int> internal_;
+};
+
+}  // namespace
+
+std::vector<int> flowmap_labels(const Aig& g, int k) {
+  std::vector<int> labels(g.num_nodes(), 0);
+  for (std::uint32_t n = 1; n < g.num_nodes(); ++n) {
+    if (!g.node(n).is_and) continue;  // inputs stay 0
+    const int p = std::max(labels[aig::node_of(g.node(n).fanin0)],
+                           labels[aig::node_of(g.node(n).fanin1)]);
+    if (p == 0) {
+      labels[n] = 1;  // an AND of inputs: depth 1, trivially 3-feasible
+      continue;
+    }
+    CutFeasibility net(g, n, labels, p);
+    labels[n] = net.max_flow(k) <= k ? p : p + 1;
+  }
+  return labels;
+}
+
+std::vector<std::uint32_t> flowmap_cut(const Aig& g, std::uint32_t target,
+                                       const std::vector<int>& labels, int k) {
+  VPGA_ASSERT(g.node(target).is_and);
+  const int p = std::max(labels[aig::node_of(g.node(target).fanin0)],
+                         labels[aig::node_of(g.node(target).fanin1)]);
+  if (p > 0 && labels[target] == p) {
+    CutFeasibility net(g, target, labels, p);
+    const int flow = net.max_flow(k);
+    VPGA_ASSERT(flow <= k);
+    return net.min_cut_leaves();
+  }
+  // label == p+1: the fanin cut is minimum-height.
+  std::vector<std::uint32_t> cut = {aig::node_of(g.node(target).fanin0),
+                                    aig::node_of(g.node(target).fanin1)};
+  std::sort(cut.begin(), cut.end());
+  cut.erase(std::unique(cut.begin(), cut.end()), cut.end());
+  return cut;
+}
+
+int flowmap_depth(const Aig& g, int k) {
+  const auto labels = flowmap_labels(g, k);
+  int d = 0;
+  for (aig::Lit o : g.outputs()) d = std::max(d, labels[aig::node_of(o)]);
+  return d;
+}
+
+}  // namespace vpga::compact

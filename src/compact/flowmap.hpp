@@ -1,0 +1,33 @@
+#pragma once
+/// \file flowmap.hpp
+/// FlowMap-style max-flow/min-cut labeling for 3-feasible supernodes.
+///
+/// The paper's compaction step "finds clusters of logic or supernodes
+/// corresponding to functions with 3 or less inputs ... using a
+/// maxflow-mincut algorithm similar to Flowmap [5]". This module implements
+/// that algorithm (Cong & Ding's label computation, specialized to k = 3):
+/// label(t) is the minimum depth of t in any 3-feasible cover, computed by a
+/// unit-node-capacity max-flow feasibility test on the collapsed cone.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace vpga::compact {
+
+/// Per-node minimum 3-feasible mapping depth (inputs/constants at 0).
+/// Exactly FlowMap's LabelPhase; optimal depth of the AIG under 3-input
+/// covering = max label over the output nodes.
+std::vector<int> flowmap_labels(const aig::Aig& g, int k = 3);
+
+/// The minimum-height k-feasible cut of `target` found by the labeling
+/// max-flow (leaf node indices, <= k of them). For a node whose label is
+/// p+1 (no flow-feasible cut at height p), this is the trivial fanin cut.
+std::vector<std::uint32_t> flowmap_cut(const aig::Aig& g, std::uint32_t target,
+                                       const std::vector<int>& labels, int k = 3);
+
+/// Depth of the AIG under optimal 3-feasible covering (max output label).
+int flowmap_depth(const aig::Aig& g, int k = 3);
+
+}  // namespace vpga::compact

@@ -1,0 +1,154 @@
+#include "core/arch_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace vpga::core {
+namespace {
+
+const std::map<std::string, PlbComponent>& component_keys() {
+  static const std::map<std::string, PlbComponent> keys = {
+      {"xoa", PlbComponent::kXoa},   {"mux", PlbComponent::kMux},
+      {"nd3", PlbComponent::kNd3},   {"lut3", PlbComponent::kLut3},
+      {"dff", PlbComponent::kDff},
+  };
+  return keys;
+}
+
+const char* component_key(PlbComponent c) {
+  switch (c) {
+    case PlbComponent::kXoa: return "xoa";
+    case PlbComponent::kMux: return "mux";
+    case PlbComponent::kNd3: return "nd3";
+    case PlbComponent::kLut3: return "lut3";
+    case PlbComponent::kDff: return "dff";
+  }
+  return "?";
+}
+
+bool parse_config_name(const std::string& s, ConfigKind& out) {
+  for (int i = 0; i < kNumConfigKinds; ++i) {
+    const auto k = static_cast<ConfigKind>(i);
+    if (s == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_architecture(std::ostream& os, const PlbArchitecture& arch) {
+  os << "plb " << arch.name << "\n  components";
+  for (int c = 0; c < kNumPlbComponents; ++c) {
+    const int n = arch.component_count[static_cast<std::size_t>(c)];
+    if (n > 0) os << ' ' << component_key(static_cast<PlbComponent>(c)) << '=' << n;
+  }
+  os << "\n  configs";
+  for (ConfigKind k : arch.configs) os << ' ' << to_string(k);
+  os << "\n  tile_area " << arch.tile_area_um2;
+  os << "\n  comb_area " << arch.comb_area_um2;
+  os << "\nend\n";
+}
+
+std::string architecture_to_string(const PlbArchitecture& arch) {
+  std::ostringstream os;
+  write_architecture(os, arch);
+  return os.str();
+}
+
+ArchParseResult read_architecture(std::istream& is) {
+  ArchParseResult result;
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    result.ok = false;
+    result.error = "line " + std::to_string(lineno) + ": " + msg;
+    return result;
+  };
+
+  PlbArchitecture arch;
+  bool saw_plb = false, saw_end = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw) || kw[0] == '#') continue;
+    if (kw == "plb") {
+      if (saw_plb) return fail("duplicate 'plb'");
+      if (!(ls >> arch.name)) return fail("'plb' needs a name");
+      saw_plb = true;
+    } else if (kw == "components") {
+      if (!saw_plb) return fail("'components' before 'plb'");
+      std::string tok;
+      while (ls >> tok) {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos) return fail("component needs key=count: " + tok);
+        const auto it = component_keys().find(tok.substr(0, eq));
+        if (it == component_keys().end()) return fail("unknown component '" + tok + "'");
+        int count = 0;
+        try {
+          count = std::stoi(tok.substr(eq + 1));
+        } catch (...) {
+          return fail("bad count in '" + tok + "'");
+        }
+        if (count < 0 || count > 64) return fail("count out of range in '" + tok + "'");
+        arch.component_count[static_cast<std::size_t>(it->second)] = count;
+      }
+    } else if (kw == "configs") {
+      if (!saw_plb) return fail("'configs' before 'plb'");
+      std::string tok;
+      while (ls >> tok) {
+        ConfigKind k;
+        if (!parse_config_name(tok, k)) return fail("unknown config '" + tok + "'");
+        arch.configs.push_back(k);
+      }
+    } else if (kw == "tile_area") {
+      if (!(ls >> arch.tile_area_um2) || arch.tile_area_um2 <= 0)
+        return fail("tile_area needs a positive number");
+    } else if (kw == "comb_area") {
+      if (!(ls >> arch.comb_area_um2) || arch.comb_area_um2 <= 0)
+        return fail("comb_area needs a positive number");
+    } else if (kw == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return fail("unknown keyword '" + kw + "'");
+    }
+  }
+  if (!saw_plb) {
+    lineno = std::max(1, lineno);
+    return fail("missing 'plb' header");
+  }
+  if (!saw_end) return fail("missing 'end'");
+  if (arch.configs.empty()) return fail("architecture declares no configs");
+  if (arch.tile_area_um2 <= 0) return fail("missing tile_area");
+  if (arch.comb_area_um2 <= 0) return fail("missing comb_area");
+  // Sanity: every config must be satisfiable by the declared components.
+  for (ConfigKind k : arch.configs) {
+    if (!fits_in_one_plb(arch, {k}))
+      return fail(std::string("config ") + to_string(k) + " cannot fit in this tile");
+  }
+  result.ok = true;
+  result.arch = std::move(arch);
+  return result;
+}
+
+ArchParseResult parse_architecture(const std::string& text) {
+  std::istringstream is(text);
+  return read_architecture(is);
+}
+
+ArchParseResult load_architecture(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    ArchParseResult r;
+    r.error = "cannot open " + path;
+    return r;
+  }
+  return read_architecture(is);
+}
+
+}  // namespace vpga::core

@@ -1,0 +1,42 @@
+#pragma once
+/// \file arch_io.hpp
+/// Textual PLB architecture descriptions.
+///
+/// The paper's closing proposal is application-domain-specific logic block
+/// exploration; this format makes that a file-driven workflow (shared by the
+/// CLI's --arch-file and the architecture_explorer example):
+///
+///   plb custom_ctrl
+///     components xoa=1 mux=2 nd3=1 dff=2
+///     configs MX ND3 NDMX XOAMX XOANDMX FF FA
+///     tile_area 112
+///     comb_area 63.3
+///   end
+///
+/// Component keys: xoa, mux, nd3, lut3, dff. Config names as printed by
+/// core::to_string (FA = full-adder macro).
+
+#include <iosfwd>
+#include <string>
+
+#include "core/plb.hpp"
+
+namespace vpga::core {
+
+/// Serializes an architecture in the format above.
+void write_architecture(std::ostream& os, const PlbArchitecture& arch);
+std::string architecture_to_string(const PlbArchitecture& arch);
+
+/// Parse result: architecture or located error.
+struct ArchParseResult {
+  bool ok = false;
+  PlbArchitecture arch;
+  std::string error;
+};
+
+/// Reads one architecture description (strict).
+ArchParseResult read_architecture(std::istream& is);
+ArchParseResult parse_architecture(const std::string& text);
+ArchParseResult load_architecture(const std::string& path);
+
+}  // namespace vpga::core

@@ -1,0 +1,91 @@
+#pragma once
+/// \file config.hpp
+/// PLB packing configurations (Section 2.3 of the paper).
+///
+/// A *configuration* is a small pre-characterized composition of PLB
+/// component cells that realizes a set of (up to) 3-input functions faster
+/// and denser than a 3-LUT. The granular PLB (Figure 4) supports:
+///   1. MX       — a single 2:1 MUX
+///   2. ND3      — a single ND3WI gate
+///   3. NDMX     — a 2:1 MUX driven by a single ND2WI gate
+///   4. XOAMX    — a 2:1 MUX driven by another 2:1 MUX (the XOA)
+///   5. XOANDMX  — a 2:1 MUX driven by a 2:1 MUX and a ND3WI gate
+/// plus the FA macro of Section 2.2 (a full adder in one PLB), the LUT3
+/// configuration of the LUT-based PLB (Figure 1), and the flip-flop.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "library/cells.hpp"
+#include "logic/function_sets.hpp"
+
+namespace vpga::core {
+
+/// Physical component slots inside a PLB.
+enum class PlbComponent : std::uint8_t {
+  kXoa = 0,   ///< the sized-up MUX of the granular PLB
+  kMux,       ///< a plain 2:1 MUX
+  kNd3,       ///< ND3WI gate
+  kLut3,      ///< the 3-LUT of the LUT-based PLB
+  kDff,       ///< D flip-flop
+};
+inline constexpr int kNumPlbComponents = 5;
+
+/// Bitmask of PlbComponent values a requirement accepts.
+using ComponentClass = std::uint8_t;
+constexpr ComponentClass component_bit(PlbComponent c) {
+  return static_cast<ComponentClass>(1u << static_cast<unsigned>(c));
+}
+constexpr bool class_accepts(ComponentClass cls, PlbComponent c) {
+  return (cls & component_bit(c)) != 0;
+}
+
+/// The configuration alphabet.
+enum class ConfigKind : std::uint8_t {
+  kMx = 0,
+  kNd3,
+  kNdmx,
+  kXoamx,
+  kXoandmx,
+  kLut3,
+  kFf,
+  kFullAdder,
+};
+inline constexpr int kNumConfigKinds = 8;
+
+/// A characterized configuration.
+struct ConfigSpec {
+  ConfigKind kind{};
+  std::string name;
+  /// 3-variable functions the configuration realizes (FA handled separately:
+  /// its coverage describes the SUM output; it also produces COUT).
+  logic::FnSet3 coverage;
+  /// Component slots the configuration occupies; each entry is a class of
+  /// acceptable components (e.g. an MX runs on a plain MUX *or* the XOA;
+  /// an NDMX driver may be the ND3WI or — "packed as XOAMX" — the XOA).
+  std::vector<ComponentClass> needs;
+  /// Worst-case input-to-output arc through the configuration, with internal
+  /// loading already folded in (only the final stage sees the external load).
+  library::TimingArc arc;
+  /// Sum of the standalone component-cell areas (used by the compaction
+  /// accounting; the paper reports "total gate area").
+  double mapped_area_um2 = 0.0;
+  /// Capacitance presented per input pin (worst entry stage), for STA.
+  double input_cap_ff = 0.0;
+};
+
+/// Builds the characterized configuration table from a cell library.
+/// Coverage sets are exhaustively enumerated (and cached internally).
+const std::array<ConfigSpec, kNumConfigKinds>& config_specs(
+    const library::CellLibrary& lib = library::CellLibrary::standard());
+
+/// Convenience lookup.
+const ConfigSpec& config_spec(ConfigKind k,
+                              const library::CellLibrary& lib = library::CellLibrary::standard());
+
+const char* to_string(ConfigKind k);
+const char* to_string(PlbComponent c);
+
+}  // namespace vpga::core

@@ -1,0 +1,67 @@
+#include "core/fa_packing.hpp"
+
+#include "common/assert.hpp"
+#include "core/match.hpp"
+#include "logic/truth_table.hpp"
+
+namespace vpga::core {
+
+bool packs_full_adder(const PlbArchitecture& arch) {
+  if (arch.supports(ConfigKind::kFullAdder))
+    return fits_in_one_plb(arch, {ConfigKind::kFullAdder});
+  // Without the macro: both outputs must fit one tile as separate configs.
+  const auto sum_tt = static_cast<std::uint8_t>(logic::tt3::xor3().bits());
+  const auto cout_tt = static_cast<std::uint8_t>(logic::tt3::maj3().bits());
+  const auto sum_cfg = min_area_config(arch, sum_tt);
+  const auto cout_cfg = min_area_config(arch, cout_tt);
+  if (!sum_cfg || !cout_cfg) return false;
+  return fits_in_one_plb(arch, {*sum_cfg, *cout_cfg});
+}
+
+FullAdderPlan plan_full_adder(const PlbArchitecture& arch, const library::CellLibrary& lib) {
+  FullAdderPlan plan;
+  if (arch.supports(ConfigKind::kFullAdder) &&
+      fits_in_one_plb(arch, {ConfigKind::kFullAdder})) {
+    const auto& mux = lib.spec(library::CellKind::kMux2);
+    const auto& xoa = lib.spec(library::CellKind::kXoa);
+    plan.plbs = 1;
+    plan.configs = {ConfigKind::kFullAdder};
+    // Carry step: Cin enters the COUT mux as a data pin — one mux stage,
+    // loaded by the next bit's Cin pins (SUM mux data + COUT mux data).
+    plan.carry_delay_ps = mux.arc.delay(2 * mux.input_cap_ff);
+    // Worst SUM path: A/B through the XOA (P), then the SUM mux select.
+    plan.sum_delay_ps =
+        xoa.arc.delay(2 * mux.input_cap_ff) + mux.arc.delay(mux.input_cap_ff);
+    return plan;
+  }
+
+  const auto sum_tt = static_cast<std::uint8_t>(logic::tt3::xor3().bits());
+  const auto cout_tt = static_cast<std::uint8_t>(logic::tt3::maj3().bits());
+  const auto sum_cfg = min_area_config(arch, sum_tt);
+  const auto cout_cfg = min_area_config(arch, cout_tt);
+  VPGA_ASSERT_MSG(sum_cfg && cout_cfg,
+                  "architecture cannot realize a full adder in single configurations");
+  plan.configs = {*sum_cfg, *cout_cfg};
+  plan.plbs = fits_in_one_plb(arch, plan.configs) ? 1 : 2;
+  const auto& sum_spec = config_spec(*sum_cfg, lib);
+  const auto& cout_spec = config_spec(*cout_cfg, lib);
+  const double load = 2 * lib.spec(library::CellKind::kLut3).input_cap_ff;
+  plan.carry_delay_ps = cout_spec.arc.delay(load);
+  plan.sum_delay_ps = sum_spec.arc.delay(load);
+  return plan;
+}
+
+RippleAdderPlan plan_ripple_adder(const PlbArchitecture& arch, int bits,
+                                  const library::CellLibrary& lib) {
+  VPGA_ASSERT(bits >= 1);
+  const auto fa = plan_full_adder(arch, lib);
+  RippleAdderPlan plan;
+  plan.bits = bits;
+  plan.plbs = bits * fa.plbs;
+  // Critical path: first SUM stage latency dominated by the carry ripple —
+  // (bits - 1) carry steps plus the final SUM formation.
+  plan.critical_path_ps = (bits - 1) * fa.carry_delay_ps + fa.sum_delay_ps;
+  return plan;
+}
+
+}  // namespace vpga::core

@@ -1,0 +1,39 @@
+#pragma once
+/// \file fa_packing.hpp
+/// Section 2.2 of the paper: packing a full adder into PLBs.
+///
+/// The granular PLB implements both SUM = A xor B xor Cin and
+/// COUT = P*Cin + P'*G (P = A xor B, G = A*B) in one tile; the LUT-based PLB
+/// must spend one 3-LUT per output and therefore needs two tiles per bit.
+
+#include "core/plb.hpp"
+
+namespace vpga::core {
+
+/// How one full-adder bit maps onto an architecture.
+struct FullAdderPlan {
+  int plbs = 0;                      ///< tiles consumed per full-adder bit
+  std::vector<ConfigKind> configs;   ///< configurations used (across tiles)
+  double carry_delay_ps = 0.0;       ///< Cin-to-Cout delay (ripple-carry step)
+  double sum_delay_ps = 0.0;         ///< worst input-to-SUM delay
+};
+
+/// True iff one tile of `arch` realizes both outputs of a full adder.
+bool packs_full_adder(const PlbArchitecture& arch);
+
+/// Plans a full-adder bit on `arch` (greedy: FA macro if available, otherwise
+/// one minimum-area configuration per output, packed into as few tiles as
+/// the resource model allows).
+FullAdderPlan plan_full_adder(const PlbArchitecture& arch,
+                              const library::CellLibrary& lib = library::CellLibrary::standard());
+
+/// Tiles needed for an n-bit ripple-carry adder and its carry-chain delay.
+struct RippleAdderPlan {
+  int bits = 0;
+  int plbs = 0;
+  double critical_path_ps = 0.0;  ///< through the carry chain to the last SUM
+};
+RippleAdderPlan plan_ripple_adder(const PlbArchitecture& arch, int bits,
+                                  const library::CellLibrary& lib = library::CellLibrary::standard());
+
+}  // namespace vpga::core

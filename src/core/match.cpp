@@ -1,0 +1,33 @@
+#include "core/match.hpp"
+
+namespace vpga::core {
+namespace {
+
+template <typename Better>
+std::optional<ConfigKind> best_config(const PlbArchitecture& arch, std::uint8_t tt,
+                                      Better better) {
+  std::optional<ConfigKind> best;
+  for (ConfigKind k : arch.configs) {
+    if (k == ConfigKind::kFf || k == ConfigKind::kFullAdder) continue;
+    const auto& spec = config_spec(k);
+    if (!spec.coverage.test(tt)) continue;
+    if (!best || better(spec, config_spec(*best))) best = k;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<ConfigKind> min_area_config(const PlbArchitecture& arch, std::uint8_t tt) {
+  return best_config(arch, tt, [](const ConfigSpec& a, const ConfigSpec& b) {
+    return a.mapped_area_um2 < b.mapped_area_um2;
+  });
+}
+
+std::optional<ConfigKind> min_delay_config(const PlbArchitecture& arch, std::uint8_t tt) {
+  return best_config(arch, tt, [](const ConfigSpec& a, const ConfigSpec& b) {
+    return a.arc.intrinsic_ps < b.arc.intrinsic_ps;
+  });
+}
+
+}  // namespace vpga::core

@@ -1,0 +1,26 @@
+#pragma once
+/// \file match.hpp
+/// Function-to-configuration matching for a PLB architecture.
+///
+/// Given a 3-input function, these helpers pick the configuration a PLB
+/// architecture would use for it — the mechanism behind the paper's
+/// observation that "the majority of the functions that are mapped to a
+/// 3-LUT in the LUT-based PLB are mapped to a NDMX or XOAMX configuration in
+/// the proposed granular PLB".
+
+#include <cstdint>
+#include <optional>
+
+#include "core/plb.hpp"
+
+namespace vpga::core {
+
+/// The minimum-gate-area configuration of `arch` implementing the 3-variable
+/// function `tt` (flip-flop and FA macro excluded). nullopt if no single
+/// configuration covers it (the function then needs multiple PLB levels).
+std::optional<ConfigKind> min_area_config(const PlbArchitecture& arch, std::uint8_t tt);
+
+/// The minimum-delay configuration (intrinsic-delay order) implementing `tt`.
+std::optional<ConfigKind> min_delay_config(const PlbArchitecture& arch, std::uint8_t tt);
+
+}  // namespace vpga::core

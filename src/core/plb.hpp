@@ -1,0 +1,59 @@
+#pragma once
+/// \file plb.hpp
+/// PLB architecture descriptors — the paper's Figures 1 and 4, plus the
+/// parametric variants used by the application-domain ablation of Section 4.
+///
+/// An architecture is the multiset of component slots in one tile, the set of
+/// legal configurations, and the tile geometry. Tile areas are calibrated to
+/// the paper's own stated ratios: the granular PLB is ~20% larger than the
+/// LUT-based PLB overall with ~26.6% more combinational logic area.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace vpga::core {
+
+/// One PLB tile architecture.
+struct PlbArchitecture {
+  std::string name;
+  /// How many slots of each PlbComponent one tile provides.
+  std::array<int, kNumPlbComponents> component_count{};
+  /// Configurations the local interconnect supports.
+  std::vector<ConfigKind> configs;
+  double tile_area_um2 = 0.0;  ///< full tile (components + vias + buffers + DFF)
+  double comb_area_um2 = 0.0;  ///< combinational portion of the tile
+
+  [[nodiscard]] int count(PlbComponent c) const {
+    return component_count[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] int dff_count() const { return count(PlbComponent::kDff); }
+  [[nodiscard]] bool supports(ConfigKind k) const;
+
+  /// The LUT-based heterogeneous PLB of Figure 1: one 3-LUT, two ND3WI gates,
+  /// one DFF.
+  static PlbArchitecture lut_based();
+
+  /// The granular heterogeneous PLB of Figure 4: one XOA, two plain 2:1
+  /// MUXes, one ND3WI gate, one DFF.
+  static PlbArchitecture granular();
+
+  /// Granular variant with `n` flip-flops per tile (Section 4: the optimal
+  /// FF-to-combinational ratio is application-domain dependent).
+  static PlbArchitecture granular_with_ffs(int n);
+};
+
+/// Checks whether a multiset of configurations fits simultaneously into one
+/// tile of the architecture: every configuration's component needs must be
+/// satisfiable by *distinct* component slots. Exact (backtracking) — tiles
+/// are tiny, so this is cheap and used directly by the packer.
+bool fits_in_one_plb(const PlbArchitecture& arch, const std::vector<ConfigKind>& configs);
+
+/// All maximal simultaneous configuration multisets (for reports/tests; e.g.
+/// the granular PLB's "three MX and one ND3" etc. from Section 2.3).
+std::vector<std::vector<ConfigKind>> maximal_packings(
+    const PlbArchitecture& arch, const std::vector<ConfigKind>& comb_configs);
+
+}  // namespace vpga::core

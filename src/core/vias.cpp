@@ -1,0 +1,64 @@
+#include "core/vias.hpp"
+
+namespace vpga::core {
+namespace {
+
+/// Candidate sources a via-programmable pin can connect to inside a tile:
+/// 3 block inputs x 2 polarities, the two rails, and the intermediate
+/// outputs the granular PLB exposes (Section 2.3's re-arrangement).
+constexpr int kSourcesPerPin = 10;
+
+/// Pins of one component (logic pins + the output's polarity site).
+int pins_of(PlbComponent c) {
+  switch (c) {
+    case PlbComponent::kXoa:
+    case PlbComponent::kMux:
+    case PlbComponent::kNd3:
+    case PlbComponent::kLut3: return 3 + 1;
+    case PlbComponent::kDff: return 1 + 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int potential_via_sites(const PlbArchitecture& arch) {
+  int sites = 0;
+  for (int c = 0; c < kNumPlbComponents; ++c)
+    sites += arch.component_count[static_cast<std::size_t>(c)] *
+             pins_of(static_cast<PlbComponent>(c)) * kSourcesPerPin;
+  return sites;
+}
+
+int vias_for_config(ConfigKind k) {
+  // One via per pin-source selection plus one per programmed polarity; the
+  // LUT3 additionally programs its four leaf literals (Figure 5).
+  switch (k) {
+    case ConfigKind::kMx: return 4;
+    case ConfigKind::kNd3: return 5;       // 3 pins + inversion sites
+    case ConfigKind::kNdmx: return 8;
+    case ConfigKind::kXoamx: return 8;
+    case ConfigKind::kXoandmx: return 12;
+    case ConfigKind::kLut3: return 3 + 4;  // selects + leaf literals
+    case ConfigKind::kFf: return 2;
+    case ConfigKind::kFullAdder: return 13;
+  }
+  return 0;
+}
+
+ViaReport count_vias(const netlist::Netlist& nl, const PlbArchitecture& arch, int tiles) {
+  ViaReport r;
+  r.potential = static_cast<long long>(tiles) * potential_via_sites(arch);
+  for (netlist::NodeId id : nl.all_nodes()) {
+    const auto& n = nl.node(id);
+    if (n.in_macro() && n.macro_rep != id) continue;
+    if (n.type == netlist::NodeType::kDff) {
+      r.placed += vias_for_config(ConfigKind::kFf);
+    } else if (n.type == netlist::NodeType::kComb && n.has_config()) {
+      r.placed += vias_for_config(static_cast<ConfigKind>(n.config_tag));
+    }
+  }
+  return r;
+}
+
+}  // namespace vpga::core

@@ -1,0 +1,36 @@
+#pragma once
+/// \file vias.hpp
+/// Configuration-via accounting.
+///
+/// A VPGA is customized by placing vias at prefabricated candidate sites; the
+/// number of candidate sites measures the local-interconnect flexibility a
+/// PLB pays for in area ("the cost of higher granularity is ... an increase
+/// in potential via sites", Section 2), and the number of *placed* vias per
+/// design is the single-mask customization cost. This module models both.
+
+#include "core/plb.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vpga::core {
+
+/// Candidate via sites one tile of the architecture provides (every pin of
+/// every component can reach each routable source through one via).
+int potential_via_sites(const PlbArchitecture& arch);
+
+/// Vias actually placed to realize one configuration instance (pin source
+/// selections + polarity programming).
+int vias_for_config(ConfigKind k);
+
+/// Via statistics of a packed design.
+struct ViaReport {
+  long long potential = 0;  ///< candidate sites across the used array
+  long long placed = 0;     ///< programmed vias for the design's logic
+  [[nodiscard]] double utilization() const {
+    return potential > 0 ? static_cast<double>(placed) / static_cast<double>(potential) : 0.0;
+  }
+};
+
+/// Counts vias for a compacted netlist packed into `tiles` tiles of `arch`.
+ViaReport count_vias(const netlist::Netlist& nl, const PlbArchitecture& arch, int tiles);
+
+}  // namespace vpga::core

@@ -1,0 +1,45 @@
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "designs/datapath.hpp"
+#include "designs/designs.hpp"
+
+namespace vpga::designs {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+BenchmarkDesign make_alu(int width) {
+  VPGA_ASSERT(width >= 4 && (width & (width - 1)) == 0);
+  Netlist nl("alu" + std::to_string(width));
+
+  // Registered operand/opcode inputs (FF -> logic -> FF paths for STA).
+  const Bus a = register_bus(nl, input_bus(nl, "a", width));
+  const Bus b = register_bus(nl, input_bus(nl, "b", width));
+  const Bus op = register_bus(nl, input_bus(nl, "op", 3));
+
+  const int log_w = static_cast<int>(std::log2(width));
+  const Bus shamt(b.begin(), b.begin() + log_w);
+
+  const Bus add = prefix_add(nl, a, b);
+  const Bus sub = prefix_sub(nl, a, b);
+  const Bus land = bitwise_and(nl, a, b);
+  const Bus lor = bitwise_or(nl, a, b);
+  const Bus lxor = bitwise_xor(nl, a, b);
+  const Bus shl = barrel_shift(nl, a, shamt, /*left=*/true);
+  const Bus shr = barrel_shift(nl, a, shamt, /*left=*/false);
+
+  // slt: zero-extended unsigned comparison result.
+  Bus slt(static_cast<std::size_t>(width), ground(nl));
+  slt[0] = less_than(nl, a, b);
+
+  const Bus result = mux_tree(nl, op, {add, sub, land, lor, lxor, shl, shr, slt});
+  const Bus result_q = register_bus(nl, result);
+  output_bus(nl, "result", result_q);
+  nl.add_output(nl.add_dff(nl.add_not(reduce_or(nl, result))), "zero");
+
+  BenchmarkDesign d{std::move(nl), /*clock_period_ps=*/4500.0, /*datapath_dominated=*/true};
+  return d;
+}
+
+}  // namespace vpga::designs

@@ -1,0 +1,288 @@
+#include "designs/datapath.hpp"
+
+#include "common/assert.hpp"
+
+namespace vpga::designs {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+Bus input_bus(Netlist& nl, const std::string& name, int width) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bus.push_back(nl.add_input(name + "[" + std::to_string(i) + "]"));
+  return bus;
+}
+
+void output_bus(Netlist& nl, const std::string& name, const Bus& bus) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    nl.add_output(bus[i], name + "[" + std::to_string(i) + "]");
+}
+
+Bus register_bus(Netlist& nl, const Bus& d) {
+  Bus q;
+  q.reserve(d.size());
+  for (NodeId bit : d) q.push_back(nl.add_dff(bit));
+  return q;
+}
+
+Bus ripple_add(Netlist& nl, const Bus& a, const Bus& b, NodeId carry_in, bool carry_out) {
+  VPGA_ASSERT(a.size() == b.size() && !a.empty());
+  NodeId carry = carry_in.valid() ? carry_in : ground(nl);
+  Bus sum;
+  sum.reserve(a.size() + (carry_out ? 1 : 0));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum.push_back(nl.add_xor3(a[i], b[i], carry));
+    carry = nl.add_maj(a[i], b[i], carry);
+  }
+  if (carry_out) sum.push_back(carry);
+  return sum;
+}
+
+Bus ripple_sub(Netlist& nl, const Bus& a, const Bus& b) {
+  return ripple_add(nl, a, bitwise_not(nl, b), power(nl));
+}
+
+Bus increment(Netlist& nl, const Bus& a) {
+  Bus sum;
+  sum.reserve(a.size());
+  NodeId carry = power(nl);
+  for (NodeId bit : a) {
+    sum.push_back(nl.add_xor(bit, carry));
+    carry = nl.add_and(bit, carry);
+  }
+  return sum;
+}
+
+Bus prefix_add(Netlist& nl, const Bus& a, const Bus& b, NodeId carry_in, bool carry_out) {
+  VPGA_ASSERT(a.size() == b.size() && !a.empty());
+  const std::size_t w = a.size();
+  Bus p = bitwise_xor(nl, a, b);
+  Bus g = bitwise_and(nl, a, b);
+  // Fold the carry-in into the bit-0 generate.
+  if (carry_in.valid()) g[0] = nl.add_or(g[0], nl.add_and(p[0], carry_in));
+  Bus gg = g, pp = p;
+  for (std::size_t d = 1; d < w; d <<= 1) {
+    Bus ng = gg, np = pp;
+    for (std::size_t i = w; i-- > d;) {
+      ng[i] = nl.add_or(gg[i], nl.add_and(pp[i], gg[i - d]));
+      np[i] = nl.add_and(pp[i], pp[i - d]);
+    }
+    gg = std::move(ng);
+    pp = std::move(np);
+  }
+  Bus sum(w);
+  sum[0] = carry_in.valid() ? nl.add_xor(p[0], carry_in) : nl.add_buf(p[0]);
+  for (std::size_t i = 1; i < w; ++i) sum[i] = nl.add_xor(p[i], gg[i - 1]);
+  if (carry_out) sum.push_back(gg[w - 1]);
+  return sum;
+}
+
+Bus prefix_sub(Netlist& nl, const Bus& a, const Bus& b) {
+  return prefix_add(nl, a, bitwise_not(nl, b), power(nl));
+}
+
+namespace {
+struct LzNode {
+  Bus count;          // log2(width) bits, valid when !zero
+  netlist::NodeId zero;  // the whole slice is zero
+};
+
+LzNode lz_rec(Netlist& nl, const Bus& v) {
+  if (v.size() == 1) return {Bus{}, nl.add_not(v[0])};
+  const std::size_t half = v.size() / 2;
+  const LzNode lo = lz_rec(nl, Bus(v.begin(), v.begin() + static_cast<long>(half)));
+  const LzNode hi = lz_rec(nl, Bus(v.begin() + static_cast<long>(half), v.end()));
+  LzNode out;
+  out.zero = nl.add_and(hi.zero, lo.zero);
+  out.count = mux_bus(nl, hi.zero, hi.count, lo.count);
+  out.count.push_back(hi.zero);  // MSB: the whole upper half was zero
+  return out;
+}
+}  // namespace
+
+Bus leading_zeros(Netlist& nl, const Bus& v) {
+  VPGA_ASSERT(!v.empty());
+  // Pad (at the LSB side) to a power of two with ones: padding never adds
+  // leading zeros because the scan starts at the MSB.
+  std::size_t padded = 1;
+  while (padded < v.size()) padded <<= 1;
+  Bus work(padded - v.size(), power(nl));
+  work.insert(work.end(), v.begin(), v.end());
+  const LzNode r = lz_rec(nl, work);
+  Bus count = r.count;
+  count.push_back(r.zero);  // all-zero input: count == padded width
+  return count;
+}
+
+Bus bitwise_and(Netlist& nl, const Bus& a, const Bus& b) {
+  VPGA_ASSERT(a.size() == b.size());
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(nl.add_and(a[i], b[i]));
+  return out;
+}
+
+Bus bitwise_or(Netlist& nl, const Bus& a, const Bus& b) {
+  VPGA_ASSERT(a.size() == b.size());
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(nl.add_or(a[i], b[i]));
+  return out;
+}
+
+Bus bitwise_xor(Netlist& nl, const Bus& a, const Bus& b) {
+  VPGA_ASSERT(a.size() == b.size());
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(nl.add_xor(a[i], b[i]));
+  return out;
+}
+
+Bus bitwise_not(Netlist& nl, const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  for (NodeId bit : a) out.push_back(nl.add_not(bit));
+  return out;
+}
+
+Bus mux_bus(Netlist& nl, NodeId sel, const Bus& a, const Bus& b) {
+  VPGA_ASSERT(a.size() == b.size());
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(nl.add_mux(sel, a[i], b[i]));
+  return out;
+}
+
+Bus mux_tree(Netlist& nl, const Bus& sel, const std::vector<Bus>& choices) {
+  VPGA_ASSERT(!choices.empty());
+  VPGA_ASSERT(choices.size() == (std::size_t{1} << sel.size()));
+  std::vector<Bus> level = choices;
+  for (std::size_t s = 0; s < sel.size(); ++s) {
+    std::vector<Bus> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(mux_bus(nl, sel[s], level[i], level[i + 1]));
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+Bus barrel_shift(Netlist& nl, const Bus& value, const Bus& amount, bool left, NodeId fill) {
+  const NodeId pad = fill.valid() ? fill : ground(nl);
+  Bus cur = value;
+  const int w = static_cast<int>(value.size());
+  for (std::size_t s = 0; s < amount.size(); ++s) {
+    const int dist = 1 << s;
+    Bus shifted(cur.size());
+    for (int i = 0; i < w; ++i) {
+      const int src = left ? i - dist : i + dist;
+      shifted[static_cast<std::size_t>(i)] =
+          (src >= 0 && src < w) ? cur[static_cast<std::size_t>(src)] : pad;
+    }
+    cur = mux_bus(nl, amount[s], cur, shifted);
+  }
+  return cur;
+}
+
+namespace {
+NodeId reduce(Netlist& nl, const Bus& a, NodeId (Netlist::*op)(NodeId, NodeId)) {
+  VPGA_ASSERT(!a.empty());
+  // Balanced tree keeps logic depth logarithmic, as synthesis would.
+  std::vector<NodeId> level = a;
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back((nl.*op)(level[i], level[i + 1]));
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+}  // namespace
+
+NodeId reduce_or(Netlist& nl, const Bus& a) { return reduce(nl, a, &Netlist::add_or); }
+NodeId reduce_and(Netlist& nl, const Bus& a) { return reduce(nl, a, &Netlist::add_and); }
+NodeId reduce_xor(Netlist& nl, const Bus& a) { return reduce(nl, a, &Netlist::add_xor); }
+
+NodeId equal(Netlist& nl, const Bus& a, const Bus& b) {
+  return nl.add_not(reduce_or(nl, bitwise_xor(nl, a, b)));
+}
+
+NodeId less_than(Netlist& nl, const Bus& a, const Bus& b) {
+  VPGA_ASSERT(a.size() == b.size());
+  // a < b  <=>  no carry out of a + ~b + 1 (prefix adder: log depth).
+  const Bus diff = prefix_add(nl, a, bitwise_not(nl, b), power(nl), /*carry_out=*/true);
+  return nl.add_not(diff.back());
+}
+
+Bus crc_step(Netlist& nl, const Bus& crc, const Bus& data, std::uint64_t polynomial) {
+  // Parallel (matrix) CRC: over GF(2) the advanced state is linear in the
+  // current state and the data word, so each next-state bit is the XOR of a
+  // fixed subset of state/data bits. The participation masks come from
+  // symbolically running the Galois LFSR recurrence on bitmasks; each output
+  // is then one balanced XOR tree — this is how RTL CRC generators unroll
+  // wide datapaths without a serial feedback chain.
+  const std::size_t w = crc.size();
+  VPGA_ASSERT(w <= 64 && data.size() <= 64);
+  struct Masks {
+    std::uint64_t state;
+    std::uint64_t data;
+  };
+  std::vector<Masks> m(w);
+  for (std::size_t i = 0; i < w; ++i) m[i] = {std::uint64_t{1} << i, 0};
+  for (std::size_t k = 0; k < data.size(); ++k) {
+    const Masks feedback = {m[w - 1].state, m[w - 1].data | (std::uint64_t{1} << k)};
+    std::vector<Masks> next(w);
+    next[0] = feedback;
+    for (std::size_t i = 1; i < w; ++i) {
+      next[i] = m[i - 1];
+      if ((polynomial >> i) & 1) {
+        next[i].state ^= feedback.state;
+        next[i].data ^= feedback.data;
+      }
+    }
+    m = std::move(next);
+  }
+  Bus out(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    Bus terms;
+    for (std::size_t b = 0; b < w; ++b)
+      if ((m[i].state >> b) & 1) terms.push_back(crc[b]);
+    for (std::size_t b = 0; b < data.size(); ++b)
+      if ((m[i].data >> b) & 1) terms.push_back(data[b]);
+    out[i] = terms.empty() ? ground(nl) : reduce_xor(nl, terms);
+  }
+  return out;
+}
+
+Bus decode(Netlist& nl, const Bus& sel) {
+  const std::size_t n = std::size_t{1} << sel.size();
+  Bus out;
+  out.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    NodeId term;
+    for (std::size_t b = 0; b < sel.size(); ++b) {
+      const NodeId lit = (v >> b) & 1 ? sel[b] : nl.add_not(sel[b]);
+      term = term.valid() ? nl.add_and(term, lit) : lit;
+    }
+    out.push_back(term);
+  }
+  return out;
+}
+
+Bus priority_grant(Netlist& nl, const Bus& req) {
+  Bus grant;
+  grant.reserve(req.size());
+  NodeId any_above = ground(nl);
+  for (NodeId r : req) {
+    grant.push_back(nl.add_and(r, nl.add_not(any_above)));
+    any_above = nl.add_or(any_above, r);
+  }
+  return grant;
+}
+
+NodeId ground(Netlist& nl) { return nl.add_constant(false); }
+NodeId power(Netlist& nl) { return nl.add_constant(true); }
+
+}  // namespace vpga::designs

@@ -1,0 +1,88 @@
+#pragma once
+/// \file datapath.hpp
+/// Bus-level structural builders used by the benchmark-design generators.
+///
+/// A Bus is an ordered little-endian vector of nets. These helpers build the
+/// standard datapath idioms (adders, shifters, muxes, reducers, CRC steps,
+/// decoders) out of generic gates; the synthesis flow then maps them onto the
+/// PLB component library. They are deliberately plain structural generators —
+/// the paper's designs come from RTL through Design Compiler, and these
+/// produce the same class of gate-level structure.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vpga::designs {
+
+using Bus = std::vector<netlist::NodeId>;
+
+/// Fresh primary-input bus "name[0..width)".
+Bus input_bus(netlist::Netlist& nl, const std::string& name, int width);
+/// Primary outputs "name[0..width)" driven by the bus.
+void output_bus(netlist::Netlist& nl, const std::string& name, const Bus& bus);
+/// Registers every bit (returns the Q bus).
+Bus register_bus(netlist::Netlist& nl, const Bus& d);
+
+/// Ripple-carry add: returns sum bus; carry-out appended if `carry_out`.
+Bus ripple_add(netlist::Netlist& nl, const Bus& a, const Bus& b,
+               netlist::NodeId carry_in = {}, bool carry_out = false);
+/// a - b (two's complement; carry-in forced to 1, b complemented).
+Bus ripple_sub(netlist::Netlist& nl, const Bus& a, const Bus& b);
+/// a + 1.
+Bus increment(netlist::Netlist& nl, const Bus& a);
+
+/// Parallel-prefix (Kogge-Stone) add — logarithmic carry depth, the adder
+/// structure synthesis emits under timing constraints for wide datapaths.
+Bus prefix_add(netlist::Netlist& nl, const Bus& a, const Bus& b,
+               netlist::NodeId carry_in = {}, bool carry_out = false);
+/// a - b using the prefix adder.
+Bus prefix_sub(netlist::Netlist& nl, const Bus& a, const Bus& b);
+
+/// Leading-zero count of `v` scanning from the MSB, as a ceil(log2(w))+1-bit
+/// bus (logarithmic tree, not a serial priority chain). When v == 0 the top
+/// bit is set and the remaining bits are unspecified.
+Bus leading_zeros(netlist::Netlist& nl, const Bus& v);
+
+/// Bitwise ops over equal-width buses.
+Bus bitwise_and(netlist::Netlist& nl, const Bus& a, const Bus& b);
+Bus bitwise_or(netlist::Netlist& nl, const Bus& a, const Bus& b);
+Bus bitwise_xor(netlist::Netlist& nl, const Bus& a, const Bus& b);
+Bus bitwise_not(netlist::Netlist& nl, const Bus& a);
+
+/// 2:1 bus mux: sel == 0 -> a, sel == 1 -> b.
+Bus mux_bus(netlist::Netlist& nl, netlist::NodeId sel, const Bus& a, const Bus& b);
+/// N:1 bus mux over a power-of-two choice list, select bus little-endian.
+Bus mux_tree(netlist::Netlist& nl, const Bus& sel, const std::vector<Bus>& choices);
+
+/// Logarithmic barrel shifter; shift amount is a bus of ceil(log2(w)) bits.
+/// `left` chooses direction; vacated bits fill with `fill` (constant 0 unless
+/// a net is supplied).
+Bus barrel_shift(netlist::Netlist& nl, const Bus& value, const Bus& amount, bool left,
+                 netlist::NodeId fill = {});
+
+/// Reductions.
+netlist::NodeId reduce_or(netlist::Netlist& nl, const Bus& a);
+netlist::NodeId reduce_and(netlist::Netlist& nl, const Bus& a);
+netlist::NodeId reduce_xor(netlist::Netlist& nl, const Bus& a);
+
+/// a == b.
+netlist::NodeId equal(netlist::Netlist& nl, const Bus& a, const Bus& b);
+/// Unsigned a < b (ripple borrow).
+netlist::NodeId less_than(netlist::Netlist& nl, const Bus& a, const Bus& b);
+
+/// One combinational CRC step: next = crc shifted by the data width with the
+/// given polynomial taps (Galois form), absorbing `data`.
+Bus crc_step(netlist::Netlist& nl, const Bus& crc, const Bus& data,
+             std::uint64_t polynomial);
+
+/// Binary decoder: out[i] = (sel == i); output width = 2^sel.size().
+Bus decode(netlist::Netlist& nl, const Bus& sel);
+/// Priority encoder over `req` (LSB wins): returns {grant one-hot bus}.
+Bus priority_grant(netlist::Netlist& nl, const Bus& req);
+
+/// Zero/one constants as needed.
+netlist::NodeId ground(netlist::Netlist& nl);
+netlist::NodeId power(netlist::Netlist& nl);
+
+}  // namespace vpga::designs

@@ -1,0 +1,60 @@
+#pragma once
+/// \file designs.hpp
+/// The paper's four benchmark designs plus small tutorial circuits.
+///
+/// The paper evaluates ALU, FPU (~24k gates), Network switch (~80k gates) —
+/// all datapath-dominated — and Firewire, a small controller dominated by
+/// control/sequential logic. The original RTL is proprietary, so these
+/// structural generators synthesize netlists of the same character and
+/// approximate scale (see DESIGN.md, substitution table). All generators are
+/// parametric: tests use reduced widths, the bench harness uses paper scale.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vpga::designs {
+
+/// A benchmark design instance: the netlist plus its evaluation parameters.
+struct BenchmarkDesign {
+  netlist::Netlist netlist;
+  double clock_period_ps = 0.0;
+  bool datapath_dominated = true;
+};
+
+/// 32-bit single-cycle ALU: add/sub/and/or/xor/shift-left/shift-right/set-
+/// less-than with registered operands and result, zero flag.
+BenchmarkDesign make_alu(int width = 32);
+
+/// Floating-point unit: parallel multiply (Wallace-tree multiplier over the
+/// full significand) and add (align/normalize barrel shifters, LZD) paths
+/// with pipeline registers; `lanes` instantiates independent SIMD pipelines.
+/// The paper-scale instance is the quad-lane single-precision configuration
+/// used by paper_suite() (~the paper's 24k-gate class).
+BenchmarkDesign make_fpu(int exp_bits = 8, int mant_bits = 23, int lanes = 1);
+
+/// Input-queued packet switch: per-port ingress CRC check, header decode and
+/// alignment shifter, request/grant arbitration per output, full crossbar,
+/// egress CRC regeneration, registered boundaries.
+BenchmarkDesign make_network_switch(int ports = 8, int width = 64);
+
+/// Firewire-style link-layer controller: register file, protocol FSMs,
+/// CRC-16 datapath, timers and shift registers. Sequential-dominated.
+BenchmarkDesign make_firewire(int reg_words = 16, int word_bits = 16);
+
+/// The evaluation suite of the paper's Tables 1 and 2, in paper order
+/// {ALU, Firewire, FPU, Network switch}. `scale` < 1.0 shrinks the datapath
+/// widths for fast test runs (1.0 = paper scale).
+std::vector<BenchmarkDesign> paper_suite(double scale = 1.0);
+
+/// Small tutorial circuits (examples/tests).
+netlist::Netlist make_ripple_adder(int bits);
+netlist::Netlist make_counter(int bits);
+netlist::Netlist make_lfsr(int bits, std::uint64_t taps);
+/// Carry-select adder: ripple blocks of `block_bits` computed for both carry
+/// values, selected by the incoming block carry (area/delay middle ground).
+netlist::Netlist make_carry_select_adder(int bits, int block_bits);
+/// Parallel-prefix (Kogge-Stone) adder.
+netlist::Netlist make_prefix_adder(int bits);
+
+}  // namespace vpga::designs

@@ -1,0 +1,152 @@
+#include "common/assert.hpp"
+#include "designs/datapath.hpp"
+#include "designs/designs.hpp"
+
+namespace vpga::designs {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+constexpr std::uint64_t kCrc16Poly = 0x1021;  // CCITT, as IEEE-1394 uses
+
+/// A small Moore FSM: `states` one-hot registers; transition (from, to, cond).
+struct Fsm {
+  Bus state;  // one-hot Q
+};
+
+Fsm make_fsm(Netlist& nl, int num_states,
+             const std::vector<std::tuple<int, int, NodeId>>& transitions) {
+  Fsm fsm;
+  fsm.state.reserve(static_cast<std::size_t>(num_states));
+  for (int s = 0; s < num_states; ++s) fsm.state.push_back(nl.add_dff(NodeId{}));
+  // next[s] = OR of incoming transition terms, plus self-hold when no
+  // outgoing transition fires. State 0 additionally latches on "all idle"
+  // (reset-free one-hot init is modelled by collapsing into state 0).
+  std::vector<Bus> incoming(static_cast<std::size_t>(num_states));
+  std::vector<Bus> outgoing(static_cast<std::size_t>(num_states));
+  for (const auto& [from, to, cond] : transitions) {
+    const NodeId term = nl.add_and(fsm.state[static_cast<std::size_t>(from)], cond);
+    incoming[static_cast<std::size_t>(to)].push_back(term);
+    outgoing[static_cast<std::size_t>(from)].push_back(cond);
+  }
+  const NodeId any_state = reduce_or(nl, fsm.state);
+  for (int s = 0; s < num_states; ++s) {
+    const Bus& in = incoming[static_cast<std::size_t>(s)];
+    NodeId next = in.empty() ? ground(nl) : reduce_or(nl, in);
+    // Hold when no outgoing condition fires.
+    const Bus& out = outgoing[static_cast<std::size_t>(s)];
+    const NodeId leaving = out.empty() ? ground(nl) : reduce_or(nl, out);
+    const NodeId hold = nl.add_and(fsm.state[static_cast<std::size_t>(s)], nl.add_not(leaving));
+    next = nl.add_or(next, hold);
+    if (s == 0) next = nl.add_or(next, nl.add_not(any_state));  // cold start
+    nl.set_dff_input(fsm.state[static_cast<std::size_t>(s)], next);
+  }
+  return fsm;
+}
+
+}  // namespace
+
+BenchmarkDesign make_firewire(int reg_words, int word_bits) {
+  VPGA_ASSERT(reg_words >= 2 && (reg_words & (reg_words - 1)) == 0);
+  Netlist nl("firewire");
+
+  const int log_regs = [&] {
+    int b = 0;
+    while ((1 << b) < reg_words) ++b;
+    return b;
+  }();
+
+  // --- host interface ---------------------------------------------------------
+  const Bus wr_data = register_bus(nl, input_bus(nl, "wr_data", word_bits));
+  const Bus addr = register_bus(nl, input_bus(nl, "addr", log_regs));
+  const NodeId wr_en = nl.add_dff(nl.add_input("wr_en"));
+  const NodeId rx_bit = nl.add_dff(nl.add_input("rx_bit"));
+  const NodeId rx_valid = nl.add_dff(nl.add_input("rx_valid"));
+  const NodeId tx_req = nl.add_dff(nl.add_input("tx_req"));
+  const NodeId bus_idle = nl.add_dff(nl.add_input("bus_idle"));
+
+  // --- configuration register file (the DFF-dominated core) --------------------
+  const Bus wsel = decode(nl, addr);
+  std::vector<Bus> regs(static_cast<std::size_t>(reg_words));
+  for (int r = 0; r < reg_words; ++r) {
+    Bus q = register_bus(nl, Bus(static_cast<std::size_t>(word_bits), ground(nl)));
+    const NodeId we = nl.add_and(wr_en, wsel[static_cast<std::size_t>(r)]);
+    for (int b = 0; b < word_bits; ++b)
+      nl.set_dff_input(q[static_cast<std::size_t>(b)],
+                       nl.add_mux(we, q[static_cast<std::size_t>(b)],
+                                  wr_data[static_cast<std::size_t>(b)]));
+    regs[static_cast<std::size_t>(r)] = std::move(q);
+  }
+  output_bus(nl, "rd_data", register_bus(nl, mux_tree(nl, addr, regs)));
+
+  // --- protocol state machines -------------------------------------------------
+  // Link FSM: idle -> arbitrate -> transmit -> ack -> idle; receive branch.
+  const Fsm link = make_fsm(nl, 6, {{0, 1, tx_req},
+                                    {1, 2, bus_idle},
+                                    {2, 3, nl.add_not(tx_req)},
+                                    {3, 0, bus_idle},
+                                    {0, 4, rx_valid},
+                                    {4, 5, nl.add_not(rx_valid)},
+                                    {5, 0, bus_idle}});
+  // PHY handshake FSM.
+  const Fsm phy = make_fsm(nl, 4, {{0, 1, tx_req},
+                                   {1, 2, bus_idle},
+                                   {2, 3, rx_valid},
+                                   {3, 0, bus_idle}});
+
+  // --- serial datapath: shift registers + CRC-16 --------------------------------
+  Bus shift = register_bus(nl, Bus(static_cast<std::size_t>(2 * word_bits), ground(nl)));
+  for (std::size_t i = shift.size(); i-- > 1;)
+    nl.set_dff_input(shift[i], nl.add_mux(rx_valid, shift[i], shift[i - 1]));
+  nl.set_dff_input(shift[0], nl.add_mux(rx_valid, shift[0], rx_bit));
+
+  // Transmit shift register (loads from register 0, shifts while tx active).
+  Bus tx_shift = register_bus(nl, Bus(static_cast<std::size_t>(word_bits), ground(nl)));
+  for (std::size_t i = tx_shift.size(); i-- > 1;)
+    nl.set_dff_input(tx_shift[i], nl.add_mux(tx_req, tx_shift[i - 1], regs[0][i]));
+  nl.set_dff_input(tx_shift[0], nl.add_mux(tx_req, ground(nl), regs[0][0]));
+  nl.add_output(tx_shift.back(), "tx_bit");
+
+  // Clock-domain synchronizers and retiming delay lines — the free-running
+  // FF pipelines that make link controllers register-dominated.
+  NodeId rx_sync = rx_bit;
+  for (int s = 0; s < 4; ++s) rx_sync = nl.add_dff(rx_sync, "rx_sync" + std::to_string(s));
+  nl.add_output(rx_sync, "rx_bit_sync");
+  Bus delay = shift;
+  for (int stage = 0; stage < 2; ++stage) delay = register_bus(nl, delay);
+  output_bus(nl, "rx_delayed", Bus(delay.begin(), delay.begin() + word_bits));
+
+  Bus crc = register_bus(nl, Bus(16, ground(nl)));
+  const Bus crc_next = crc_step(nl, crc, {rx_bit}, kCrc16Poly);
+  for (std::size_t i = 0; i < crc.size(); ++i)
+    nl.set_dff_input(crc[i], nl.add_mux(rx_valid, crc[i], crc_next[i]));
+  const NodeId crc_ok = nl.add_not(reduce_or(nl, crc));
+
+  // --- timers -------------------------------------------------------------------
+  auto make_timer = [&](const std::string& name, int bits) {
+    Bus t = register_bus(nl, Bus(static_cast<std::size_t>(bits), ground(nl)));
+    const Bus next = increment(nl, t);
+    const NodeId run = nl.add_or(link.state[1], link.state[2]);
+    for (int b = 0; b < bits; ++b)
+      nl.set_dff_input(t[static_cast<std::size_t>(b)],
+                       nl.add_and(run, nl.add_mux(run, t[static_cast<std::size_t>(b)],
+                                                  next[static_cast<std::size_t>(b)])));
+    nl.add_output(nl.add_dff(reduce_and(nl, t)), name + "_expired");
+    return t;
+  };
+  make_timer("arb_timer", word_bits);
+  make_timer("ack_timer", word_bits);
+
+  // --- status outputs -------------------------------------------------------------
+  nl.add_output(nl.add_dff(nl.add_and(link.state[5], crc_ok)), "rx_done");
+  nl.add_output(nl.add_dff(link.state[2]), "tx_active");
+  nl.add_output(nl.add_dff(phy.state[3]), "phy_ack");
+  output_bus(nl, "rx_word", register_bus(nl, Bus(shift.begin(),
+                                                 shift.begin() + word_bits)));
+
+  BenchmarkDesign d{std::move(nl), /*clock_period_ps=*/4000.0, /*datapath_dominated=*/false};
+  return d;
+}
+
+}  // namespace vpga::designs

@@ -1,0 +1,150 @@
+#include "common/assert.hpp"
+#include "designs/datapath.hpp"
+#include "designs/designs.hpp"
+
+namespace vpga::designs {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+/// Significand multiplier: partial-product column compression with full
+/// adders (Wallace/Dadda style carry-save tree) followed by a final
+/// parallel-prefix carry-propagate adder — the structure synthesis emits for
+/// a * operator under timing constraints. Returns the 2w product bits.
+Bus array_multiply(Netlist& nl, const Bus& x, const Bus& y) {
+  const std::size_t w = x.size();
+  VPGA_ASSERT(y.size() == w);
+  // Two spare columns absorb structural carries past bit 2w-1 (provably
+  // constant 0: the product of two w-bit numbers fits in 2w bits).
+  std::vector<std::vector<NodeId>> column(2 * w + 2);
+  for (std::size_t j = 0; j < w; ++j)
+    for (std::size_t i = 0; i < w; ++i)
+      column[i + j].push_back(nl.add_and(x[i], y[j]));
+  // Level-synchronized compression: every column reduces simultaneously each
+  // round, so carries enter the next round and total depth stays logarithmic
+  // (this is what distinguishes a Wallace tree from a ripple array).
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    std::vector<std::vector<NodeId>> next(column.size());
+    for (std::size_t c = 0; c < column.size(); ++c) {
+      std::size_t i = 0;
+      while (column[c].size() - i >= 3) {
+        const NodeId a = column[c][i];
+        const NodeId b = column[c][i + 1];
+        const NodeId ci = column[c][i + 2];
+        i += 3;
+        next[c].push_back(nl.add_xor3(a, b, ci));
+        if (c + 1 < column.size()) next[c + 1].push_back(nl.add_maj(a, b, ci));
+        reduced = true;
+      }
+      for (; i < column[c].size(); ++i) next[c].push_back(column[c][i]);
+    }
+    column = std::move(next);
+  }
+  // Final carry-propagate addition of the two remaining rows (2w bits).
+  Bus row0, row1;
+  for (std::size_t c = 0; c < 2 * w; ++c) {
+    row0.push_back(column[c].empty() ? ground(nl) : column[c][0]);
+    row1.push_back(column[c].size() > 1 ? column[c][1] : ground(nl));
+  }
+  return prefix_add(nl, row0, row1);
+}
+
+}  // namespace
+
+BenchmarkDesign make_fpu(int exp_bits, int mant_bits, int lanes) {
+  VPGA_ASSERT(exp_bits >= 3 && mant_bits >= 4 && lanes >= 1);
+  {
+    int log_sig = 0;
+    while ((1 << log_sig) < mant_bits + 1) ++log_sig;
+    VPGA_ASSERT_MSG(exp_bits >= log_sig, "exponent must cover the shift range");
+  }
+  Netlist nl("fpu_e" + std::to_string(exp_bits) + "m" + std::to_string(mant_bits) +
+             (lanes > 1 ? "x" + std::to_string(lanes) : ""));
+
+  const int sig = mant_bits + 1;  // significand with hidden bit
+
+  // SIMD lanes: identical independent pipelines (lane 0 keeps bare pin names).
+  for (int lane = 0; lane < lanes; ++lane) {
+  const std::string pfx = lane == 0 ? "" : "l" + std::to_string(lane) + "_";
+
+  // Packed operands: sign, exponent, mantissa; plus the operation select.
+  const NodeId xs = nl.add_dff(nl.add_input(pfx + "x_sign"));
+  const NodeId ys = nl.add_dff(nl.add_input(pfx + "y_sign"));
+  const Bus xe = register_bus(nl, input_bus(nl, pfx + "x_exp", exp_bits));
+  const Bus ye = register_bus(nl, input_bus(nl, pfx + "y_exp", exp_bits));
+  Bus xm = register_bus(nl, input_bus(nl, pfx + "x_man", mant_bits));
+  Bus ym = register_bus(nl, input_bus(nl, pfx + "y_man", mant_bits));
+  const NodeId is_mul = nl.add_dff(nl.add_input(pfx + "op_mul"));
+  xm.push_back(power(nl));  // hidden leading 1
+  ym.push_back(power(nl));
+
+  // ---- multiply path (stage 1) ---------------------------------------------
+  const Bus product = array_multiply(nl, xm, ym);            // 2*sig bits
+  const Bus mul_exp = prefix_add(nl, xe, ye);                // bias fix below
+  const NodeId mul_sign = nl.add_xor(xs, ys);
+
+  // Normalization: product MSB selects between top windows; round by
+  // incrementing the kept significand when the guard bit is set.
+  const NodeId prod_msb = product[static_cast<std::size_t>(2 * sig - 1)];
+  Bus mul_keep_hi(product.end() - sig, product.end());
+  Bus mul_keep_lo(product.end() - sig - 1, product.end() - 1);
+  Bus mul_mant = mux_bus(nl, prod_msb, mul_keep_lo, mul_keep_hi);
+  const NodeId guard = nl.add_mux(prod_msb, product[static_cast<std::size_t>(sig - 2)],
+                                  product[static_cast<std::size_t>(sig - 1)]);
+  Bus mul_rounded = mux_bus(nl, guard, mul_mant,
+                            prefix_add(nl, mul_mant, Bus(mul_mant.size(), ground(nl)), power(nl)));
+  Bus mul_exp_adj = mux_bus(nl, prod_msb, mul_exp, increment(nl, mul_exp));
+
+  // ---- add path (stage 1) ----------------------------------------------------
+  // Exponent compare and operand swap so the larger exponent leads.
+  const NodeId y_bigger = less_than(nl, xe, ye);
+  const Bus big_e = mux_bus(nl, y_bigger, xe, ye);
+  const Bus diff_raw = prefix_sub(nl, mux_bus(nl, y_bigger, xe, ye),
+                                  mux_bus(nl, y_bigger, ye, xe));
+  const Bus big_m = mux_bus(nl, y_bigger, xm, ym);
+  const Bus small_m = mux_bus(nl, y_bigger, ym, xm);
+
+  int log_sig = 0;
+  while ((1 << log_sig) < sig) ++log_sig;
+  const Bus align_amt(diff_raw.begin(), diff_raw.begin() + log_sig);
+  const Bus aligned = barrel_shift(nl, small_m, align_amt, /*left=*/false);
+
+  const NodeId eff_sub = nl.add_xor(xs, ys);
+  const Bus addend = mux_bus(nl, eff_sub, aligned, bitwise_not(nl, aligned));
+  const Bus raw_sum = prefix_add(nl, big_m, addend, eff_sub, /*carry_out=*/true);
+  Bus sum_m(raw_sum.begin(), raw_sum.begin() + sig);
+  const NodeId sum_carry = raw_sum[static_cast<std::size_t>(sig)];
+
+  // Renormalize the add result with a leading-zero detector + left shift.
+  Bus lzc = leading_zeros(nl, sum_m);
+  lzc.resize(static_cast<std::size_t>(log_sig), ground(nl));
+  const Bus norm = barrel_shift(nl, sum_m, lzc, /*left=*/true);
+  const Bus add_exp = prefix_sub(nl, big_e, [&] {
+    Bus ext(lzc);
+    ext.resize(big_e.size(), ground(nl));  // zero-extend (exp_bits >= log_sig)
+    return ext;
+  }());
+  const Bus add_mant = mux_bus(nl, sum_carry, norm, big_m);  // carry: shift right path
+  const NodeId add_sign = nl.add_mux(y_bigger, xs, ys);
+
+  // ---- stage 2: select, pack, register ---------------------------------------
+  const Bus r_mant = mux_bus(nl, is_mul, add_mant, mul_rounded);
+  const Bus r_exp = mux_bus(nl, is_mul, add_exp, mul_exp_adj);
+  const NodeId r_sign = nl.add_mux(is_mul, add_sign, mul_sign);
+  const NodeId is_zero = nl.add_not(reduce_or(nl, r_mant));
+
+  output_bus(nl, pfx + "z_man", register_bus(nl, Bus(r_mant.begin(), r_mant.end() - 1)));
+  output_bus(nl, pfx + "z_exp", register_bus(nl, r_exp));
+  nl.add_output(nl.add_dff(r_sign), pfx + "z_sign");
+  nl.add_output(nl.add_dff(is_zero), pfx + "z_zero");
+  }  // lane
+
+  BenchmarkDesign d{std::move(nl), /*clock_period_ps=*/30000.0, /*datapath_dominated=*/true};
+  return d;
+}
+
+}  // namespace vpga::designs

@@ -1,0 +1,111 @@
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "designs/datapath.hpp"
+#include "designs/designs.hpp"
+
+namespace vpga::designs {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+constexpr std::uint64_t kCrc32Poly = 0x04C11DB7ULL;
+
+/// Encodes a one-hot bus into binary (or-trees per output bit).
+Bus encode_onehot(Netlist& nl, const Bus& onehot, int out_bits) {
+  Bus out;
+  out.reserve(static_cast<std::size_t>(out_bits));
+  for (int b = 0; b < out_bits; ++b) {
+    Bus terms;
+    for (std::size_t i = 0; i < onehot.size(); ++i)
+      if ((i >> b) & 1) terms.push_back(onehot[i]);
+    out.push_back(terms.empty() ? ground(nl) : reduce_or(nl, terms));
+  }
+  return out;
+}
+}  // namespace
+
+BenchmarkDesign make_network_switch(int ports, int width) {
+  VPGA_ASSERT(ports >= 2 && (ports & (ports - 1)) == 0);
+  VPGA_ASSERT(width >= 8 && (width & (width - 1)) == 0);
+  Netlist nl("netswitch_p" + std::to_string(ports) + "w" + std::to_string(width));
+
+  const int log_p = static_cast<int>(std::log2(ports));
+  const int log_w = static_cast<int>(std::log2(width));
+
+  // --- ingress pipeline per port ---------------------------------------------
+  std::vector<Bus> port_data(static_cast<std::size_t>(ports));
+  std::vector<Bus> port_dest(static_cast<std::size_t>(ports));
+  std::vector<NodeId> port_valid(static_cast<std::size_t>(ports));
+
+  for (int p = 0; p < ports; ++p) {
+    const std::string pn = "p" + std::to_string(p) + "_";
+    const Bus data = register_bus(nl, input_bus(nl, pn + "data", width));
+    const Bus dest = register_bus(nl, input_bus(nl, pn + "dest", log_p));
+    const NodeId valid = nl.add_dff(nl.add_input(pn + "valid"));
+    const Bus offset = register_bus(nl, input_bus(nl, pn + "offset", log_w));
+
+    // Ingress CRC-32 check: running CRC over the (aligned) payload.
+    const Bus aligned = barrel_shift(nl, data, offset, /*left=*/false);
+    Bus crc = register_bus(nl, Bus(32, ground(nl)));
+    const Bus crc_next = crc_step(nl, crc, aligned, kCrc32Poly);
+    for (std::size_t i = 0; i < crc.size(); ++i) nl.set_dff_input(crc[i], crc_next[i]);
+    // Non-zero CRC residue flags the frame; the packet still switches (the
+    // downstream node drops it), keeping control and data paths independent.
+    const NodeId crc_err = reduce_or(nl, crc_next);
+    nl.add_output(nl.add_dff(nl.add_and(valid, crc_err)), pn + "crc_err");
+
+    port_data[static_cast<std::size_t>(p)] = aligned;
+    port_dest[static_cast<std::size_t>(p)] = dest;
+    port_valid[static_cast<std::size_t>(p)] = valid;
+  }
+
+  // --- request matrix and per-output arbitration ------------------------------
+  // request[o][p] = port p wants output o.
+  for (int o = 0; o < ports; ++o) {
+    Bus requests;
+    requests.reserve(static_cast<std::size_t>(ports));
+    for (int p = 0; p < ports; ++p) {
+      const Bus& dest = port_dest[static_cast<std::size_t>(p)];
+      NodeId hit;  // dest == o
+      for (int b = 0; b < log_p; ++b) {
+        const NodeId lit = (o >> b) & 1 ? dest[static_cast<std::size_t>(b)]
+                                        : nl.add_not(dest[static_cast<std::size_t>(b)]);
+        hit = hit.valid() ? nl.add_and(hit, lit) : lit;
+      }
+      requests.push_back(nl.add_and(hit, port_valid[static_cast<std::size_t>(p)]));
+    }
+    // Rotating-priority (round-robin) arbiter: a registered pointer masks the
+    // requests; masked priority first, wraparound second.
+    const Bus ptr = register_bus(nl, Bus(static_cast<std::size_t>(ports), ground(nl)));
+    Bus masked;
+    masked.reserve(requests.size());
+    for (int p = 0; p < ports; ++p)
+      masked.push_back(nl.add_and(requests[static_cast<std::size_t>(p)],
+                                  ptr[static_cast<std::size_t>(p)]));
+    const Bus g_masked = priority_grant(nl, masked);
+    const Bus g_any = priority_grant(nl, requests);
+    const NodeId have_masked = reduce_or(nl, masked);
+    const Bus grant = mux_bus(nl, have_masked, g_any, g_masked);
+    // Pointer update: one past the granted port (rotate the grant one-hot).
+    for (int p = 0; p < ports; ++p)
+      nl.set_dff_input(ptr[static_cast<std::size_t>(p)],
+                       grant[static_cast<std::size_t>((p + ports - 1) % ports)]);
+
+    // --- crossbar + egress ----------------------------------------------------
+    const Bus sel = encode_onehot(nl, grant, log_p);
+    const Bus out_word = mux_tree(nl, sel, port_data);
+    // Egress CRC regeneration over the switched word.
+    const Bus egress_crc = crc_step(nl, Bus(32, ground(nl)), out_word, kCrc32Poly);
+    const std::string on = "out" + std::to_string(o) + "_";
+    output_bus(nl, on + "data", register_bus(nl, out_word));
+    output_bus(nl, on + "crc", register_bus(nl, egress_crc));
+    nl.add_output(nl.add_dff(reduce_or(nl, grant)), on + "valid");
+  }
+
+  BenchmarkDesign d{std::move(nl), /*clock_period_ps=*/16000.0, /*datapath_dominated=*/true};
+  return d;
+}
+
+}  // namespace vpga::designs

@@ -1,0 +1,102 @@
+#include "common/assert.hpp"
+#include "designs/datapath.hpp"
+#include "designs/designs.hpp"
+
+namespace vpga::designs {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+netlist::Netlist make_ripple_adder(int bits) {
+  VPGA_ASSERT(bits >= 1);
+  Netlist nl("ripple_adder" + std::to_string(bits));
+  const Bus a = input_bus(nl, "a", bits);
+  const Bus b = input_bus(nl, "b", bits);
+  const NodeId cin = nl.add_input("cin");
+  const Bus sum = ripple_add(nl, a, b, cin, /*carry_out=*/true);
+  output_bus(nl, "sum", Bus(sum.begin(), sum.end() - 1));
+  nl.add_output(sum.back(), "cout");
+  return nl;
+}
+
+netlist::Netlist make_counter(int bits) {
+  VPGA_ASSERT(bits >= 1);
+  Netlist nl("counter" + std::to_string(bits));
+  const NodeId en = nl.add_input("en");
+  Bus q = register_bus(nl, Bus(static_cast<std::size_t>(bits), ground(nl)));
+  const Bus next = increment(nl, q);
+  for (int b = 0; b < bits; ++b)
+    nl.set_dff_input(q[static_cast<std::size_t>(b)],
+                     nl.add_mux(en, q[static_cast<std::size_t>(b)],
+                                next[static_cast<std::size_t>(b)]));
+  output_bus(nl, "count", q);
+  return nl;
+}
+
+netlist::Netlist make_lfsr(int bits, std::uint64_t taps) {
+  VPGA_ASSERT(bits >= 2 && bits <= 64);
+  Netlist nl("lfsr" + std::to_string(bits));
+  const NodeId seed = nl.add_input("seed");  // injected into the feedback
+  Bus q = register_bus(nl, Bus(static_cast<std::size_t>(bits), ground(nl)));
+  NodeId fb = q.back();
+  for (int b = 0; b < bits - 1; ++b)
+    if ((taps >> b) & 1) fb = nl.add_xor(fb, q[static_cast<std::size_t>(b)]);
+  fb = nl.add_xor(fb, seed);
+  nl.set_dff_input(q[0], fb);
+  for (std::size_t i = 1; i < q.size(); ++i) nl.set_dff_input(q[i], q[i - 1]);
+  output_bus(nl, "state", q);
+  return nl;
+}
+
+netlist::Netlist make_carry_select_adder(int bits, int block_bits) {
+  VPGA_ASSERT(bits >= 2 && block_bits >= 1 && block_bits <= bits);
+  Netlist nl("csel_adder" + std::to_string(bits) + "b" + std::to_string(block_bits));
+  const Bus a = input_bus(nl, "a", bits);
+  const Bus b = input_bus(nl, "b", bits);
+  NodeId carry = nl.add_input("cin");
+  Bus sum;
+  sum.reserve(static_cast<std::size_t>(bits));
+  for (int lo = 0; lo < bits; lo += block_bits) {
+    const int hi = std::min(bits, lo + block_bits);
+    const Bus ab(a.begin() + lo, a.begin() + hi);
+    const Bus bb(b.begin() + lo, b.begin() + hi);
+    // Both speculative block results; the block carry selects.
+    const Bus s0 = ripple_add(nl, ab, bb, ground(nl), /*carry_out=*/true);
+    const Bus s1 = ripple_add(nl, ab, bb, power(nl), /*carry_out=*/true);
+    const Bus sel = mux_bus(nl, carry, s0, s1);
+    sum.insert(sum.end(), sel.begin(), sel.end() - 1);
+    carry = sel.back();
+  }
+  output_bus(nl, "sum", sum);
+  nl.add_output(carry, "cout");
+  return nl;
+}
+
+netlist::Netlist make_prefix_adder(int bits) {
+  VPGA_ASSERT(bits >= 2);
+  Netlist nl("prefix_adder" + std::to_string(bits));
+  const Bus a = input_bus(nl, "a", bits);
+  const Bus b = input_bus(nl, "b", bits);
+  const NodeId cin = nl.add_input("cin");
+  const Bus sum = prefix_add(nl, a, b, cin, /*carry_out=*/true);
+  output_bus(nl, "sum", Bus(sum.begin(), sum.end() - 1));
+  nl.add_output(sum.back(), "cout");
+  return nl;
+}
+
+std::vector<BenchmarkDesign> paper_suite(double scale) {
+  VPGA_ASSERT(scale > 0.0 && scale <= 1.0);
+  auto shrink = [&](int full, int minimum) {
+    int v = minimum;
+    while (2 * v <= static_cast<int>(full * scale)) v *= 2;  // power of two <= scaled
+    return v;
+  };
+  std::vector<BenchmarkDesign> suite;
+  suite.push_back(make_alu(shrink(32, 8)));
+  suite.push_back(make_firewire(shrink(16, 4), scale < 1.0 ? 8 : 16));
+  suite.push_back(scale < 1.0 ? make_fpu(6, shrink(23, 8)) : make_fpu(8, 23, 4));
+  suite.push_back(make_network_switch(shrink(8, 2), shrink(64, 8)));
+  return suite;
+}
+
+}  // namespace vpga::designs

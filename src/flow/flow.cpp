@@ -1,0 +1,109 @@
+#include "flow/flow.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "place/placement.hpp"
+#include "route/router.hpp"
+#include "synth/buffering.hpp"
+#include "synth/mapper.hpp"
+
+namespace vpga::flow {
+
+FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchitecture& arch,
+                    char which, const FlowOptions& opts) {
+  VPGA_ASSERT(which == 'a' || which == 'b');
+  FlowReport rep;
+  rep.design = design.netlist.name();
+  rep.arch = arch.name;
+  rep.flow = which;
+  rep.clock_period_ps = design.clock_period_ps;
+
+  // 1. Synthesis + technology mapping to the restricted component library
+  //    (Design Compiler stage), delay-oriented.
+  auto mapped = synth::tech_map(design.netlist, synth::cell_target(arch),
+                                synth::Objective::kDelay);
+
+  // 2. Regularity-driven logic compaction into PLB configurations (the
+  //    re-cover runs on the pre-mapping structure; area is accounted against
+  //    the mapped netlist, as the paper's flow does).
+  auto compacted = compact::compact_from(design.netlist, mapped.netlist, arch);
+  rep.compaction = compacted.report;
+
+  // 3. Physical synthesis: high-fanout buffering, then detailed placement.
+  synth::insert_buffers(compacted.netlist, opts.max_fanout);
+  const netlist::Netlist& nl = compacted.netlist;
+  rep.gate_count_nand2 = nl.stats().nand2_equiv;
+
+  place::PlacerOptions popts;
+  popts.seed = opts.seed;
+  popts.utilization = opts.asic_utilization;
+  auto placed = place::place(nl, popts);
+
+  const library::EffortModel process;
+  timing::StaOptions sta;
+  sta.clock_period_ps = design.clock_period_ps;
+  sta.process = process;
+
+  // Timing-driven placement refinement (Dolphin's physical synthesis is
+  // timing-driven): one STA pass feeds criticality weights into a re-place.
+  {
+    const auto t = timing::analyze(nl, placed, sta);
+    popts.criticality = t.criticality;
+    placed = place::place(nl, popts);
+  }
+
+  if (which == 'a') {
+    // flow a: ASIC implementation of the restricted-library netlist.
+    rep.die_area_um2 = place::asic_die_area(nl, opts.asic_utilization);
+    const double cell_pitch = std::max(4.0, placed.width_um / 64.0);
+    const auto routed = route::route(nl, placed, cell_pitch);
+    rep.wirelength_um = routed.total_wirelength_um;
+    sta.net_length_um = routed.net_length_um;
+    const auto t = timing::analyze(nl, placed, sta);
+    rep.avg_slack_top10_ps = t.avg_slack_top10_ps;
+    rep.wns_ps = t.wns_ps;
+    rep.critical_delay_ps = t.critical_delay_ps;
+    return rep;
+  }
+
+  // flow b: legalize into the PLB array inside a timing-driven loop.
+  pack::PackOptions packo;
+  pack::PackedDesign packed;
+  for (int iter = 0; iter < std::max(1, opts.pack_timing_iterations); ++iter) {
+    packed = pack::pack(nl, placed, arch, packo);
+    // Timing on the legalized design feeds criticality back into the next
+    // packing round (the paper's packing <-> physical-synthesis iteration).
+    timing::StaOptions pre = sta;
+    const auto t = timing::analyze(nl, packed.legal, pre);
+    packo.criticality = t.criticality;
+  }
+
+  rep.die_area_um2 = packed.die_area_um2;
+  rep.plbs = packed.plbs_used;
+  rep.max_displacement_um = packed.max_displacement_um;
+
+  // ASIC-style global+detailed routing over the array (upper metal layers).
+  const auto routed = route::route(nl, packed.legal, packed.tile_size_um);
+  rep.wirelength_um = routed.total_wirelength_um;
+  sta.net_length_um = routed.net_length_um;
+  const auto t = timing::analyze(nl, packed.legal, sta);
+  rep.avg_slack_top10_ps = t.avg_slack_top10_ps;
+  rep.wns_ps = t.wns_ps;
+  rep.critical_delay_ps = t.critical_delay_ps;
+  return rep;
+}
+
+DesignComparison compare_architectures(const designs::BenchmarkDesign& design,
+                                       const FlowOptions& opts) {
+  DesignComparison c;
+  const auto gran = core::PlbArchitecture::granular();
+  const auto lut = core::PlbArchitecture::lut_based();
+  c.granular_a = run_flow(design, gran, 'a', opts);
+  c.granular_b = run_flow(design, gran, 'b', opts);
+  c.lut_a = run_flow(design, lut, 'a', opts);
+  c.lut_b = run_flow(design, lut, 'b', opts);
+  return c;
+}
+
+}  // namespace vpga::flow

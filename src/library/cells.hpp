@@ -1,0 +1,85 @@
+#pragma once
+/// \file cells.hpp
+/// The restricted standard-cell library of PLB component cells.
+///
+/// The paper's flow maps every design onto a *restricted* library consisting
+/// of exactly the component cells of the PLB under study (MUX, XOA, ND3WI,
+/// 3-LUT, buffers, inverters, DFF), each at the fixed size it has inside the
+/// PLB. This header defines those cells; timing/area numbers come from the
+/// characterization model in characterize.hpp (the CellRater substitute).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/function_sets.hpp"
+
+namespace vpga::library {
+
+/// The component-cell alphabet shared by both PLB architectures.
+enum class CellKind : std::uint8_t {
+  kInv = 0,   ///< inverter (buffering / polarity)
+  kBuf,       ///< buffer (fanout repair, programmable-polarity input buffers)
+  kNd2wi,     ///< 2-input NAND with programmable inversion
+  kNd3wi,     ///< 3-input NAND with programmable inversion
+  kMux2,      ///< 2:1 MUX (plain, as found in the granular PLB)
+  kXoa,       ///< the specially sized 2:1 MUX of the granular PLB
+  kLut3,      ///< via-patterned 3-LUT (the mux tree of Figure 5)
+  kDff,       ///< D flip-flop
+};
+
+inline constexpr int kNumCellKinds = 8;
+
+/// Linear delay model for a cell's worst timing arc:
+/// delay_ps = intrinsic_ps + slope_ps_per_ff * load_ff.
+struct TimingArc {
+  double intrinsic_ps = 0.0;
+  double slope_ps_per_ff = 0.0;
+  [[nodiscard]] double delay(double load_ff) const {
+    return intrinsic_ps + slope_ps_per_ff * load_ff;
+  }
+};
+
+/// A characterized library cell.
+struct CellSpec {
+  CellKind kind{};
+  std::string name;
+  int num_inputs = 0;       ///< logic pins (DFF: 1 = D; clock is implicit)
+  double area_um2 = 0.0;    ///< standalone standard-cell footprint (flow a)
+  double input_cap_ff = 0.0;///< capacitance presented by each input pin
+  TimingArc arc;            ///< worst input-to-output (or clk-to-q) arc
+  double setup_ps = 0.0;    ///< DFF only
+  /// 3-variable coverage: the functions the cell can be via-configured to
+  /// compute (empty pins wired per logic::function_sets conventions).
+  logic::FnSet3 coverage;
+  [[nodiscard]] bool is_sequential() const { return kind == CellKind::kDff; }
+};
+
+/// The full characterized library (all kinds, indexed by CellKind).
+class CellLibrary {
+ public:
+  /// Builds the default library from the logical-effort characterization.
+  static const CellLibrary& standard();
+
+  [[nodiscard]] const CellSpec& spec(CellKind k) const {
+    return specs_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] const std::vector<CellSpec>& all() const { return specs_; }
+
+  /// NAND2-equivalent gate count contribution of one cell of kind k —
+  /// the paper reports design sizes "in units of equivalent 2-input Nand
+  /// gates", conventionally area(cell)/area(NAND2).
+  [[nodiscard]] double nand2_equivalents(CellKind k) const {
+    return spec(k).area_um2 / spec(CellKind::kNd2wi).area_um2;
+  }
+
+  explicit CellLibrary(std::vector<CellSpec> specs) : specs_(std::move(specs)) {}
+
+ private:
+  std::vector<CellSpec> specs_;
+};
+
+/// Short cell name ("ND3WI", "LUT3", ...).
+const char* to_string(CellKind k);
+
+}  // namespace vpga::library

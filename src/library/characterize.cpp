@@ -1,0 +1,123 @@
+#include "library/characterize.hpp"
+
+#include "common/assert.hpp"
+
+namespace vpga::library {
+
+TimingArc characterize_arc(const EffortModel& m, const CellElectrical& e) {
+  TimingArc arc;
+  arc.intrinsic_ps = m.tau_ps * e.parasitic;
+  arc.slope_ps_per_ff = m.tau_ps * e.logical_effort / (e.cin_units * m.unit_cap_ff);
+  return arc;
+}
+
+CellElectrical default_electrical(CellKind k) {
+  // g/p values follow Sutherland & Sproull's logical-effort catalogue;
+  // the LUT3 numbers model the Figure-5 two-level pass-transistor mux tree
+  // plus the output buffer every via-patterned LUT carries.
+  switch (k) {
+    case CellKind::kInv:   return {1.00, 1.0, 1.0, 2.5, 0.0};
+    // BUF is the fanout-repair driver: a two-stage 4x buffer, so its input
+    // presents 4 unit loads but its output slope is 4x flatter.
+    case CellKind::kBuf:   return {1.00, 2.5, 4.0, 5.0, 0.0};
+    case CellKind::kNd2wi: return {1.50, 2.2, 1.2, 5.0, 0.0};
+    case CellKind::kNd3wi: return {1.80, 3.3, 1.3, 6.5, 0.0};
+    // The granular PLB's MUXes are drawn at the fixed size they have inside
+    // the tile (chosen for the power-delay tradeoff), which is generous —
+    // the granular PLB carries ~26.6% more combinational area than the
+    // LUT-based one (paper Section 2.3).
+    case CellKind::kMux2:  return {2.00, 3.0, 1.6, 15.5, 0.0};
+    // XOA: the same mux topology sized up further "to minimize logic delay":
+    // larger input cap buys a flatter slope and lower effective parasitic.
+    case CellKind::kXoa:   return {2.00, 2.4, 2.0, 16.5, 0.0};
+    case CellKind::kLut3:  return {2.80, 9.0, 1.1, 26.0, 0.0};
+    case CellKind::kDff:   return {1.60, 8.5, 1.1, 14.0, 60.0};
+  }
+  VPGA_ASSERT_MSG(false, "unknown CellKind");
+  return {};
+}
+
+namespace {
+
+int input_count(CellKind k) {
+  switch (k) {
+    case CellKind::kInv:
+    case CellKind::kBuf:
+    case CellKind::kDff: return 1;
+    case CellKind::kNd2wi: return 2;
+    case CellKind::kNd3wi:
+    case CellKind::kMux2:
+    case CellKind::kXoa:
+    case CellKind::kLut3: return 3;
+  }
+  return 0;
+}
+
+logic::FnSet3 coverage_of(CellKind k) {
+  using namespace logic;
+  switch (k) {
+    case CellKind::kInv: {
+      // Inverter/buffer cover single literals and constants only.
+      FnSet3 s;
+      for (int v = 0; v < 3; ++v) {
+        const auto t = TruthTable::var(3, v);
+        s.set(static_cast<std::size_t>(t.bits()));
+        s.set(static_cast<std::size_t>((~t).bits()));
+      }
+      s.set(0x00);
+      s.set(0xFF);
+      return s;
+    }
+    case CellKind::kBuf: return coverage_of(CellKind::kInv);
+    case CellKind::kNd2wi: return nd2wi_set3();
+    case CellKind::kNd3wi: return nd3wi_set3();
+    case CellKind::kMux2:
+    case CellKind::kXoa: return mux2_set3();
+    case CellKind::kLut3: return lut3_set3();
+    case CellKind::kDff: return {};
+  }
+  return {};
+}
+
+}  // namespace
+
+CellLibrary characterize_library(const EffortModel& m) {
+  std::vector<CellSpec> specs;
+  specs.reserve(kNumCellKinds);
+  for (int i = 0; i < kNumCellKinds; ++i) {
+    const auto kind = static_cast<CellKind>(i);
+    const auto e = default_electrical(kind);
+    CellSpec s;
+    s.kind = kind;
+    s.name = to_string(kind);
+    s.num_inputs = input_count(kind);
+    s.area_um2 = e.area_um2;
+    s.input_cap_ff = e.cin_units * m.unit_cap_ff;
+    s.arc = characterize_arc(m, e);
+    s.setup_ps = e.setup_ps;
+    s.coverage = coverage_of(kind);
+    specs.push_back(std::move(s));
+  }
+  return CellLibrary(std::move(specs));
+}
+
+const CellLibrary& CellLibrary::standard() {
+  static const CellLibrary lib = characterize_library(EffortModel{});
+  return lib;
+}
+
+const char* to_string(CellKind k) {
+  switch (k) {
+    case CellKind::kInv: return "INV";
+    case CellKind::kBuf: return "BUF";
+    case CellKind::kNd2wi: return "ND2WI";
+    case CellKind::kNd3wi: return "ND3WI";
+    case CellKind::kMux2: return "MUX2";
+    case CellKind::kXoa: return "XOA";
+    case CellKind::kLut3: return "LUT3";
+    case CellKind::kDff: return "DFF";
+  }
+  return "?";
+}
+
+}  // namespace vpga::library

@@ -1,0 +1,52 @@
+#pragma once
+/// \file characterize.hpp
+/// Analytic cell characterization — the substitute for Silicon Metrics
+/// CellRater in the paper's flow (Figure 6, step "Cell Characterization").
+///
+/// The paper characterizes each fixed-size component cell once and feeds the
+/// resulting timing library to synthesis and STA. We reproduce the artefact
+/// (a linear delay model per cell) from the method of logical effort:
+///
+///   delay = tau * (p + g * h),   h = C_load / C_in
+///
+/// so intrinsic = tau * p and slope = tau * g / C_in. The electrical
+/// parameters below are representative of a 0.18 um process (the paper's
+/// node); only their *ratios* affect the reproduced conclusions — most
+/// importantly that the via-patterned 3-LUT (a two-level pass-transistor
+/// tree behind an output buffer) is several times slower than the simple
+/// cells when computing a simple function, which is the paper's stated
+/// motivation for more granular PLBs.
+
+#include "library/cells.hpp"
+
+namespace vpga::library {
+
+/// Process-level parameters of the logical-effort model.
+struct EffortModel {
+  double tau_ps = 12.0;        ///< delay unit (FO4/5 at 0.18 um)
+  double unit_cap_ff = 1.8;    ///< input capacitance of the unit inverter
+  double wire_cap_ff_per_um = 0.18;  ///< interconnect load (used by STA)
+  double wire_res_ohm_per_um = 0.08; ///< interconnect resistance (Elmore)
+};
+
+/// Per-cell electrical description the characterizer consumes.
+struct CellElectrical {
+  double logical_effort = 1.0; ///< g of the worst arc
+  double parasitic = 1.0;      ///< p (intrinsic, in tau units)
+  double cin_units = 1.0;      ///< input cap in unit-inverter multiples
+  double area_um2 = 0.0;
+  double setup_ps = 0.0;       ///< sequential cells only
+};
+
+/// Characterizes one cell: produces the linear TimingArc used by STA.
+TimingArc characterize_arc(const EffortModel& m, const CellElectrical& e);
+
+/// Builds the whole characterized library (the "timing library" artefact of
+/// the paper's Figure 6). Coverage sets are attached from logic::function_sets.
+CellLibrary characterize_library(const EffortModel& m);
+
+/// The default electrical description of each CellKind (fixed sizes chosen,
+/// as in the paper, "to give a good power-delay tradeoff").
+CellElectrical default_electrical(CellKind k);
+
+}  // namespace vpga::library

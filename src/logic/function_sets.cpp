@@ -1,0 +1,98 @@
+#include "logic/function_sets.hpp"
+
+#include <array>
+
+namespace vpga::logic {
+namespace {
+
+/// The 8-bit truth tables of all "pin sources" available through the
+/// via-programmable local interconnect for a cell embedded among the three
+/// signals a, b, c: each literal in both polarities, plus the two constants.
+std::array<std::uint8_t, 8> pin_sources3() {
+  std::array<std::uint8_t, 8> src{};
+  int n = 0;
+  for (int v = 0; v < 3; ++v) {
+    const auto t = TruthTable::var(3, v);
+    src[static_cast<std::size_t>(n++)] = static_cast<std::uint8_t>(t.bits());
+    src[static_cast<std::size_t>(n++)] = static_cast<std::uint8_t>((~t).bits());
+  }
+  src[6] = 0x00;  // ground
+  src[7] = 0xFF;  // power
+  return src;
+}
+
+FnSet3 enumerate_nand(int arity) {
+  const auto src = pin_sources3();
+  FnSet3 out;
+  // Iterate over all pin wirings; output inversion doubles the set.
+  const int combos = arity == 2 ? 64 : 512;
+  for (int c = 0; c < combos; ++c) {
+    std::uint8_t conj = 0xFF;
+    int rem = c;
+    for (int p = 0; p < arity; ++p) {
+      conj &= src[static_cast<std::size_t>(rem % 8)];
+      rem /= 8;
+    }
+    const auto nand = static_cast<std::uint8_t>(~conj);
+    out.set(nand);
+    out.set(static_cast<std::uint8_t>(~nand));
+  }
+  return out;
+}
+
+FnSet3 enumerate_mux3() {
+  const auto src = pin_sources3();
+  FnSet3 out;
+  for (std::uint8_t s : src)
+    for (std::uint8_t d0 : src)
+      for (std::uint8_t d1 : src) {
+        const auto f = static_cast<std::uint8_t>((~s & d0) | (s & d1));
+        out.set(f);
+      }
+  return out;
+}
+
+/// Projects a 3-var coverage set onto functions of (a, b) only.
+FnSet2 project2(const FnSet3& s3) {
+  FnSet2 out;
+  for (int tt2 = 0; tt2 < 16; ++tt2) {
+    // Extend tt2(a,b) to 3 vars with c as don't-care: rows 4..7 repeat 0..3.
+    const auto tt3 = static_cast<std::uint8_t>(tt2 | (tt2 << 4));
+    if (s3.test(tt3)) out.set(static_cast<std::size_t>(tt2));
+  }
+  return out;
+}
+
+}  // namespace
+
+const FnSet3& nd2wi_set3() {
+  static const FnSet3 s = enumerate_nand(2);
+  return s;
+}
+
+const FnSet3& nd3wi_set3() {
+  static const FnSet3 s = enumerate_nand(3);
+  return s;
+}
+
+const FnSet3& mux2_set3() {
+  static const FnSet3 s = enumerate_mux3();
+  return s;
+}
+
+const FnSet3& lut3_set3() {
+  static const FnSet3 s = ~FnSet3{};
+  return s;
+}
+
+const FnSet2& nd2wi_set2() {
+  static const FnSet2 s = project2(nd2wi_set3());
+  return s;
+}
+
+const FnSet2& mux2_set2() {
+  static const FnSet2 s = project2(mux2_set3());
+  return s;
+}
+
+}  // namespace vpga::logic

@@ -1,0 +1,60 @@
+#pragma once
+/// \file function_sets.hpp
+/// Exhaustively enumerated coverage sets of the VPGA component cells.
+///
+/// A "coverage set" is the set of Boolean functions a via-configured cell can
+/// realize when its pins may be wired (through the via-programmable local
+/// interconnect) to input literals of either polarity, to power/ground, or
+/// bridged together. These sets drive both the paper's Section 2 analysis and
+/// exact matching in the technology mapper.
+
+#include <bitset>
+#include <cstdint>
+
+#include "logic/truth_table.hpp"
+
+namespace vpga::logic {
+
+/// Set of 3-variable functions, indexed by the 8-bit truth table.
+using FnSet3 = std::bitset<256>;
+/// Set of 2-variable functions, indexed by the 4-bit truth table.
+using FnSet2 = std::bitset<16>;
+
+/// 2-variable truth-table constants (bit order: row ab = 00,01,10,11; x0=a LSB).
+inline constexpr std::uint8_t kTt2Xor = 0b0110;
+inline constexpr std::uint8_t kTt2Xnor = 0b1001;
+
+/// True iff the 2-variable function is XOR or XNOR — the only 2-input
+/// functions a NAND gate with programmable inversion cannot produce.
+constexpr bool is_xor_type2(std::uint8_t tt2) {
+  return (tt2 & 0xF) == kTt2Xor || (tt2 & 0xF) == kTt2Xnor;
+}
+
+/// Functions of (a, b) realizable by an ND2WI gate — a 2-input NAND with
+/// programmable inversion on each input and the output, with constant-tying
+/// and input bridging allowed. Exactly the 14 non-XOR-type functions.
+const FnSet2& nd2wi_set2();
+
+/// Functions of (a, b) realizable by a single 2:1 MUX whose pins may take
+/// literals/constants. All 16 (this is why the XOA element closes the S3 gap).
+const FnSet2& mux2_set2();
+
+/// 3-variable coverage of an ND3WI gate (3-input NAND, programmable inversion
+/// everywhere, bridging/constants allowed).
+const FnSet3& nd3wi_set3();
+
+/// 3-variable coverage of a single 2:1 MUX (select and both data pins wired to
+/// any literal of {a,b,c} in either polarity or a constant).
+const FnSet3& mux2_set3();
+
+/// 3-variable coverage of an ND2WI gate alone (degenerate 3-var functions).
+const FnSet3& nd2wi_set3();
+
+/// 3-variable coverage of a 3-LUT: all 256 functions.
+const FnSet3& lut3_set3();
+
+/// Counts set bits; convenience for reports/tests.
+inline int count(const FnSet3& s) { return static_cast<int>(s.count()); }
+inline int count(const FnSet2& s) { return static_cast<int>(s.count()); }
+
+}  // namespace vpga::logic

@@ -1,0 +1,59 @@
+#include "logic/lut_decompose.hpp"
+
+#include "common/assert.hpp"
+
+namespace vpga::logic {
+
+MuxTreeRealization decompose_lut3(const TruthTable& f) {
+  VPGA_ASSERT(f.num_vars() == 3);
+  MuxTreeRealization r;
+  for (unsigned j = 0; j < 4; ++j) {
+    // Cofactor with b = bit0(j), c = bit1(j): a 1-variable function of a.
+    const bool at_a0 = f.eval(((j & 1u) << 1) | ((j >> 1) << 2));
+    const bool at_a1 = f.eval(1u | ((j & 1u) << 1) | ((j >> 1) << 2));
+    if (!at_a0 && !at_a1) r.leaf[j] = LeafWire::kGnd;
+    else if (at_a0 && at_a1) r.leaf[j] = LeafWire::kVdd;
+    else if (!at_a0 && at_a1) r.leaf[j] = LeafWire::kA;
+    else r.leaf[j] = LeafWire::kNotA;
+  }
+  return r;
+}
+
+bool eval_mux_tree(const MuxTreeRealization& r, unsigned row) {
+  const bool a = row & 1u;
+  const bool b = (row >> 1) & 1u;
+  const bool c = (row >> 2) & 1u;
+  auto leaf_value = [a](LeafWire w) {
+    switch (w) {
+      case LeafWire::kGnd: return false;
+      case LeafWire::kVdd: return true;
+      case LeafWire::kA: return a;
+      case LeafWire::kNotA: return !a;
+    }
+    return false;
+  };
+  // First level: two MUXes selected by b; second level: one MUX selected by c.
+  const bool m0 = b ? leaf_value(r.leaf[1]) : leaf_value(r.leaf[0]);
+  const bool m1 = b ? leaf_value(r.leaf[3]) : leaf_value(r.leaf[2]);
+  return c ? m1 : m0;
+}
+
+TruthTable mux_tree_function(const MuxTreeRealization& r) {
+  TruthTable t(3, 0);
+  std::uint64_t bits = 0;
+  for (unsigned row = 0; row < 8; ++row)
+    if (eval_mux_tree(r, row)) bits |= std::uint64_t{1} << row;
+  return TruthTable(3, bits);
+}
+
+const char* to_string(LeafWire w) {
+  switch (w) {
+    case LeafWire::kGnd: return "0";
+    case LeafWire::kVdd: return "1";
+    case LeafWire::kA: return "a";
+    case LeafWire::kNotA: return "a'";
+  }
+  return "?";
+}
+
+}  // namespace vpga::logic

@@ -1,0 +1,40 @@
+#pragma once
+/// \file lut_decompose.hpp
+/// Figure 5 of the paper: a via-patterned 3-LUT is exactly three 2:1 MUXes.
+///
+/// In a via-configurable fabric the LUT "SRAM bits" are via-tied literals, so
+/// f(a,b,c) = MUX(c; MUX(b; d00, d01), MUX(b; d10, d11)) with each leaf datum
+/// d_ij wired to one of {0, 1, a, a'}. The granular PLB splits this tree into
+/// its three component MUXes and re-arranges them so intermediate outputs are
+/// accessible — this module constructs and verifies the decomposition.
+
+#include <array>
+#include <cstdint>
+
+#include "logic/truth_table.hpp"
+
+namespace vpga::logic {
+
+/// What a leaf data pin of the mux tree is via-wired to.
+enum class LeafWire : std::uint8_t { kGnd, kVdd, kA, kNotA };
+
+/// A concrete three-MUX realization of a 3-input function.
+/// leaf[j] drives the data input of the first-level MUXes for the cofactor
+/// with (b,c) = (bit0(j), bit1(j)).
+struct MuxTreeRealization {
+  std::array<LeafWire, 4> leaf{};
+};
+
+/// Builds the (unique) mux-tree realization of the given 3-variable function.
+MuxTreeRealization decompose_lut3(const TruthTable& f);
+
+/// Evaluates a realization on one input row (bit0 = a, bit1 = b, bit2 = c).
+bool eval_mux_tree(const MuxTreeRealization& r, unsigned row);
+
+/// Recovers the truth table a realization computes (inverse of decompose).
+TruthTable mux_tree_function(const MuxTreeRealization& r);
+
+/// Human-readable wiring name ("0", "1", "a", "a'").
+const char* to_string(LeafWire w);
+
+}  // namespace vpga::logic

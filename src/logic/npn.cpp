@@ -1,0 +1,116 @@
+#include "logic/npn.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/assert.hpp"
+#include "logic/truth_table.hpp"
+
+namespace vpga::logic {
+namespace {
+
+/// Enumerates all NPN transforms of tt: 6 permutations x 8 input negation
+/// masks x 2 output phases = 96 images (with duplicates).
+std::vector<std::uint8_t> npn_orbit(std::uint8_t tt) {
+  static const std::array<std::array<int, TruthTable::kMaxVars>, 6> kPerms = {{
+      {0, 1, 2, 3, 4, 5},
+      {0, 2, 1, 3, 4, 5},
+      {1, 0, 2, 3, 4, 5},
+      {1, 2, 0, 3, 4, 5},
+      {2, 0, 1, 3, 4, 5},
+      {2, 1, 0, 3, 4, 5},
+  }};
+  std::vector<std::uint8_t> out;
+  out.reserve(96);
+  const TruthTable base(3, tt);
+  for (const auto& perm : kPerms) {
+    const TruthTable p = base.permute(perm);
+    for (unsigned negs = 0; negs < 8; ++negs) {
+      TruthTable t = p;
+      for (int v = 0; v < 3; ++v)
+        if (negs & (1u << v)) t = t.negate_var(v);
+      out.push_back(static_cast<std::uint8_t>(t.bits()));
+      out.push_back(static_cast<std::uint8_t>((~t).bits()));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+const char* class_name(std::uint8_t representative) {
+  // Named by a familiar member of the class.
+  switch (representative) {
+    case 0x00: return "constant";
+    case 0x01: return "AND3/NOR3";
+    case 0x03: return "AND2 (one input unused)";
+    case 0x05: return "literal";
+    case 0x06: return "XOR2 (one input unused)";
+    case 0x07: return "OR-AND (a+b)'c' family";
+    case 0x0F: return "literal (one var)";
+    case 0x16: return "one-hot (exactly-one)";
+    case 0x17: return "not-majority / minority";
+    case 0x18: return "a'b'c' + abc-type";
+    case 0x19: return "XOR-AND mix";
+    case 0x1B: return "mux-like partial";
+    case 0x1E: return "AND-XOR (a xor bc)";
+    case 0x3C: return "XOR2 of products";
+    case 0x69: return "XNOR3/XOR3";
+    case 0x6B: return "XOR-majority mix";
+    case 0xCA: return "MUX (if-then-else)";
+    case 0xE8: return "MAJ3 (carry)";
+    default: return "";
+  }
+}
+
+}  // namespace
+
+std::uint8_t npn_canonical(std::uint8_t tt) {
+  const auto orbit = npn_orbit(tt);
+  return orbit.front();
+}
+
+std::vector<std::uint8_t> npn_class_of(std::uint8_t tt) { return npn_orbit(tt); }
+
+const std::vector<NpnClass>& npn_classes() {
+  static const std::vector<NpnClass> classes = [] {
+    std::map<std::uint8_t, int> size_of;
+    for (int f = 0; f < 256; ++f) ++size_of[npn_canonical(static_cast<std::uint8_t>(f))];
+    std::vector<NpnClass> out;
+    for (const auto& [rep, size] : size_of) {
+      NpnClass c;
+      c.representative = rep;
+      c.size = size;
+      c.name = class_name(rep);
+      if (c.name.empty()) {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "class 0x%02X", rep);
+        c.name = buf;
+      }
+      out.push_back(std::move(c));
+    }
+    return out;
+  }();
+  return classes;
+}
+
+std::vector<double> npn_coverage(const FnSet3& set) {
+  const auto& classes = npn_classes();
+  std::vector<double> covered(classes.size(), 0.0);
+  std::vector<double> total(classes.size(), 0.0);
+  for (int f = 0; f < 256; ++f) {
+    const auto rep = npn_canonical(static_cast<std::uint8_t>(f));
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      if (classes[i].representative != rep) continue;
+      total[i] += 1.0;
+      if (set.test(static_cast<std::size_t>(f))) covered[i] += 1.0;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < classes.size(); ++i)
+    covered[i] = total[i] > 0 ? covered[i] / total[i] : 0.0;
+  return covered;
+}
+
+}  // namespace vpga::logic

@@ -1,0 +1,42 @@
+#pragma once
+/// \file npn.hpp
+/// NPN classification of 3-input functions.
+///
+/// Two functions are NPN-equivalent when one becomes the other under input
+/// Negation, input Permutation and output Negation — exactly the freedoms a
+/// via-patterned cell with programmable polarity and routable pins has. The
+/// 256 three-input functions fall into 14 NPN classes; classifying coverage
+/// sets by NPN class shows *which kinds* of logic a PLB component captures,
+/// the lens the paper's predecessor studies ([7], [6]) used to motivate
+/// heterogeneous blocks.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/function_sets.hpp"
+
+namespace vpga::logic {
+
+/// The canonical (numerically smallest) representative of tt's NPN class.
+std::uint8_t npn_canonical(std::uint8_t tt);
+
+/// All members of tt's NPN class (sorted, deduplicated).
+std::vector<std::uint8_t> npn_class_of(std::uint8_t tt);
+
+/// One NPN equivalence class of 3-input functions.
+struct NpnClass {
+  std::uint8_t representative = 0;  ///< canonical member
+  int size = 0;                     ///< number of member functions
+  std::string name;                 ///< human-readable label ("XOR3", "MAJ", ...)
+};
+
+/// The 14 NPN classes of 3-input logic, sorted by representative.
+const std::vector<NpnClass>& npn_classes();
+
+/// Fraction of each NPN class covered by a function set (e.g. a cell's
+/// coverage); out[i] in [0,1] aligned with npn_classes().
+std::vector<double> npn_coverage(const FnSet3& set);
+
+}  // namespace vpga::logic

@@ -1,0 +1,120 @@
+#include "logic/s3.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace vpga::logic {
+namespace {
+
+/// Cofactors of an 8-bit truth table with respect to x2 (the select), as
+/// 4-bit functions of (a, b). Row layout makes this a simple nibble split.
+struct Cofactors {
+  std::uint8_t g;  // f | s=0
+  std::uint8_t h;  // f | s=1
+};
+
+constexpr Cofactors cofactors_wrt_select(std::uint8_t tt) {
+  return {static_cast<std::uint8_t>(tt & 0x0F), static_cast<std::uint8_t>(tt >> 4)};
+}
+
+}  // namespace
+
+S3Analysis analyze_s3() {
+  S3Analysis out;
+  const FnSet2& nd2 = nd2wi_set2();
+  for (int f = 0; f < 256; ++f) {
+    const auto [g, h] = cofactors_wrt_select(static_cast<std::uint8_t>(f));
+    const bool g_ok = nd2.test(g);
+    const bool h_ok = nd2.test(h);
+    S3Category cat;
+    if (g_ok && h_ok) {
+      cat = S3Category::kFeasible;
+    } else if (!g_ok && !h_ok) {
+      // Both cofactors are XOR-type.
+      if (g == h) {
+        cat = (g == kTt2Xor) ? S3Category::kTwoInputXor : S3Category::kTwoInputXnor;
+      } else {
+        // xor/xnor pair: complementary cofactors -> 3-input XOR or XNOR.
+        VPGA_ASSERT(static_cast<std::uint8_t>(~g & 0x0F) == h);
+        cat = S3Category::kComplementaryCofactors;
+      }
+    } else {
+      const std::uint8_t bad = g_ok ? h : g;
+      cat = (bad == kTt2Xor) ? S3Category::kCofactorXor : S3Category::kCofactorXnor;
+    }
+    out.category[static_cast<std::size_t>(f)] = cat;
+    ++out.category_count[static_cast<std::size_t>(cat)];
+    if (cat == S3Category::kFeasible) out.feasible.set(static_cast<std::size_t>(f));
+  }
+  return out;
+}
+
+FnSet3 s3_feasible_any_select() {
+  FnSet3 out;
+  for (int f = 0; f < 256; ++f) {
+    const TruthTable t(3, static_cast<std::uint64_t>(f));
+    for (int v = 0; v < 3 && !out.test(static_cast<std::size_t>(f)); ++v) {
+      const auto g = static_cast<std::uint8_t>(t.cofactor(v, false).bits());
+      const auto h = static_cast<std::uint8_t>(t.cofactor(v, true).bits());
+      if (nd2wi_set2().test(g) && nd2wi_set2().test(h))
+        out.set(static_cast<std::size_t>(f));
+    }
+  }
+  return out;
+}
+
+const FnSet3& modified_s3_set3() {
+  static const FnSet3 set = [] {
+    FnSet3 out;
+    // Collect the member truth tables of each internal gate's coverage.
+    std::vector<std::uint8_t> xoa, nd;
+    for (int f = 0; f < 256; ++f) {
+      if (mux2_set3().test(static_cast<std::size_t>(f))) xoa.push_back(static_cast<std::uint8_t>(f));
+      if (nd2wi_set3().test(static_cast<std::size_t>(f))) nd.push_back(static_cast<std::uint8_t>(f));
+    }
+    // Literal/constant sources available directly at the output MUX pins.
+    std::vector<std::uint8_t> literals;
+    for (int v = 0; v < 3; ++v) {
+      const auto t = TruthTable::var(3, v);
+      literals.push_back(static_cast<std::uint8_t>(t.bits()));
+      literals.push_back(static_cast<std::uint8_t>((~t).bits()));
+    }
+    literals.push_back(0x00);
+    literals.push_back(0xFF);
+
+    // Enumerate output-MUX wirings. Each pin draws from literals plus at most
+    // one use of the XOA output and one use of the ND output. Enumerating
+    // (XOA fn) x (ND fn) x (pin-source choice) covers all cases, including
+    // those where a gate output is unused (literals subsume idle gates).
+    auto mux = [](std::uint8_t s, std::uint8_t d0, std::uint8_t d1) {
+      return static_cast<std::uint8_t>((~s & d0) | (s & d1));
+    };
+    for (std::uint8_t x : xoa) {
+      for (std::uint8_t n : nd) {
+        std::vector<std::uint8_t> pins = literals;
+        pins.push_back(x);
+        pins.push_back(n);
+        for (std::uint8_t s : pins)
+          for (std::uint8_t d0 : pins)
+            for (std::uint8_t d1 : pins) out.set(mux(s, d0, d1));
+      }
+    }
+    return out;
+  }();
+  return set;
+}
+
+const char* to_string(S3Category c) {
+  switch (c) {
+    case S3Category::kFeasible: return "S3-feasible";
+    case S3Category::kCofactorXor: return "one cofactor is XOR";
+    case S3Category::kCofactorXnor: return "one cofactor is XNOR";
+    case S3Category::kTwoInputXor: return "simplifies to 2-input XOR";
+    case S3Category::kTwoInputXnor: return "simplifies to 2-input XNOR";
+    case S3Category::kComplementaryCofactors: return "complementary cofactors (3-input XOR/XNOR)";
+  }
+  return "?";
+}
+
+}  // namespace vpga::logic

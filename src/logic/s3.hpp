@@ -1,0 +1,61 @@
+#pragma once
+/// \file s3.hpp
+/// Section 2.1 of the paper: analysis of 3-input functions on the S3 gate and
+/// on the modified S3 cell.
+///
+/// The S3 gate is a 2:1 MUX whose data inputs are driven by two ND2WI gates
+/// over (a, b) and whose select pin is the third input s. Writing
+/// f(a,b,s) = s'·g(a,b) + s·h(a,b), the gate realizes f exactly when both
+/// Shannon cofactors g and h are ND2WI-implementable, i.e. not XOR/XNOR.
+/// That yields 14 × 14 = 196 of the 256 three-input functions; the 60
+/// infeasible ones fall into the five categories of the paper's Figure 2.
+
+#include <array>
+#include <cstdint>
+
+#include "logic/function_sets.hpp"
+
+namespace vpga::logic {
+
+/// Classification of a 3-input function with respect to the S3 gate
+/// (select = x2). Categories 1-5 match the paper's Figure 2.
+enum class S3Category : std::uint8_t {
+  kFeasible = 0,              ///< both cofactors ND2WI-implementable
+  kCofactorXor = 1,           ///< one cofactor ND2WI-able, the other is XOR
+  kCofactorXnor = 2,          ///< one cofactor ND2WI-able, the other is XNOR
+  kTwoInputXor = 3,           ///< f simplifies to a 2-input XOR (both cofactors = XOR)
+  kTwoInputXnor = 4,          ///< f simplifies to a 2-input XNOR (both cofactors = XNOR)
+  kComplementaryCofactors = 5 ///< cofactors complement each other: 3-input XOR/XNOR
+};
+
+inline constexpr int kNumS3Categories = 6;
+
+/// Exhaustive S3 classification of all 256 three-input functions.
+struct S3Analysis {
+  /// category[tt] for every 8-bit truth table (select = x2).
+  std::array<S3Category, 256> category{};
+  /// Number of functions per category (index by S3Category).
+  std::array<int, kNumS3Categories> category_count{};
+  /// Functions the S3 gate realizes (== category kFeasible). Paper: 196.
+  FnSet3 feasible;
+};
+
+/// Runs the exhaustive classification (cheap; cached by callers if desired).
+S3Analysis analyze_s3();
+
+/// Functions realizable when the select pin may be driven by *any* of the
+/// three inputs (free pin assignment at the routing level). A strict superset
+/// of analyze_s3().feasible; reported alongside Figure 2 as an extension.
+FnSet3 s3_feasible_any_select();
+
+/// Coverage of the paper's modified S3 cell (Figure 3): one XOA (a 2:1 MUX
+/// with programmable output inversion, able to realize any 2-input function),
+/// one ND2WI gate, and an output 2:1 MUX whose pins may be via-wired to the
+/// XOA output, the ND output, any input literal of either polarity, or a
+/// constant. The paper's claim (verified exhaustively): all 256 functions.
+const FnSet3& modified_s3_set3();
+
+/// Human-readable category name (for the Figure 2 bench output).
+const char* to_string(S3Category c);
+
+}  // namespace vpga::logic

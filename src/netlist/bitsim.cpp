@@ -1,0 +1,93 @@
+#include "netlist/bitsim.hpp"
+
+#include "common/assert.hpp"
+
+namespace vpga::netlist {
+
+BitSimulator::BitSimulator(const Netlist& nl)
+    : nl_(nl), order_(nl.topo_order()), values_(nl.num_nodes(), 0) {
+  for (NodeId id : nl.all_nodes()) {
+    const Node& n = nl.node(id);
+    if (n.type == NodeType::kConst)
+      values_[id.index()] = (n.func.bits() & 1) ? ~std::uint64_t{0} : 0;
+  }
+}
+
+void BitSimulator::set_input(std::size_t i, std::uint64_t patterns) {
+  VPGA_ASSERT(i < nl_.inputs().size());
+  values_[nl_.inputs()[i].index()] = patterns;
+}
+
+void BitSimulator::set_state(std::size_t d, std::uint64_t patterns) {
+  VPGA_ASSERT(d < nl_.dffs().size());
+  values_[nl_.dffs()[d].index()] = patterns;
+}
+
+void BitSimulator::eval() {
+  for (NodeId id : order_) {
+    const Node& n = nl_.node(id);
+    if (n.type == NodeType::kOutput) {
+      values_[id.index()] = values_[n.fanins[0].index()];
+      continue;
+    }
+    // Evaluate the truth table bitwise over the fanin words: for each row r
+    // of the table, AND together fanin words in the row's polarities and OR
+    // into the result when f(r) = 1.
+    std::uint64_t out = 0;
+    const int rows = n.func.num_rows();
+    for (int r = 0; r < rows; ++r) {
+      if (!n.func.eval(static_cast<unsigned>(r))) continue;
+      std::uint64_t term = ~std::uint64_t{0};
+      for (std::size_t k = 0; k < n.fanins.size(); ++k) {
+        const std::uint64_t v = values_[n.fanins[k].index()];
+        term &= (r >> k) & 1 ? v : ~v;
+      }
+      out |= term;
+    }
+    values_[id.index()] = out;
+  }
+}
+
+std::uint64_t BitSimulator::output(std::size_t i) const {
+  VPGA_ASSERT(i < nl_.outputs().size());
+  return values_[nl_.outputs()[i].index()];
+}
+
+std::uint64_t BitSimulator::next_state(std::size_t d) const {
+  VPGA_ASSERT(d < nl_.dffs().size());
+  const NodeId din = nl_.node(nl_.dffs()[d]).fanins[0];
+  VPGA_ASSERT(din.valid());
+  return values_[din.index()];
+}
+
+bool exhaustive_equivalent(const Netlist& a, const Netlist& b, int max_inputs) {
+  VPGA_ASSERT_MSG(a.dffs().empty() && b.dffs().empty(),
+                  "exhaustive_equivalent is combinational-only");
+  if (a.inputs().size() != b.inputs().size()) return false;
+  if (a.outputs().size() != b.outputs().size()) return false;
+  const int n = static_cast<int>(a.inputs().size());
+  if (n > max_inputs) return false;
+
+  BitSimulator sa(a), sb(b);
+  // Inputs 0..5 cycle within one 64-pattern word; inputs >= 6 come from the
+  // block index, so one eval covers 64 assignments.
+  static constexpr std::uint64_t kLane[6] = {
+      0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+      0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+  const std::uint64_t blocks = n > 6 ? (std::uint64_t{1} << (n - 6)) : 1;
+  for (std::uint64_t blk = 0; blk < blocks; ++blk) {
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t w =
+          i < 6 ? kLane[i] : ((blk >> (i - 6)) & 1 ? ~std::uint64_t{0} : 0);
+      sa.set_input(static_cast<std::size_t>(i), w);
+      sb.set_input(static_cast<std::size_t>(i), w);
+    }
+    sa.eval();
+    sb.eval();
+    for (std::size_t o = 0; o < a.outputs().size(); ++o)
+      if (sa.output(o) != sb.output(o)) return false;
+  }
+  return true;
+}
+
+}  // namespace vpga::netlist

@@ -1,0 +1,197 @@
+#include "netlist/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace vpga::netlist {
+namespace {
+
+const char* cell_token(library::CellKind k) { return library::to_string(k); }
+
+bool parse_cell(const std::string& s, library::CellKind& out) {
+  for (int i = 0; i < library::kNumCellKinds; ++i) {
+    const auto k = static_cast<library::CellKind>(i);
+    if (s == library::to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_netlist(std::ostream& os, const Netlist& nl) {
+  os << "vpga-netlist 1\n";
+  if (!nl.name().empty()) os << "name " << nl.name() << "\n";
+  for (NodeId id : nl.all_nodes()) {
+    const Node& n = nl.node(id);
+    os << "node " << id.value() << ' ';
+    switch (n.type) {
+      case NodeType::kInput:
+        os << "input " << n.name;
+        break;
+      case NodeType::kConst:
+        os << "const " << (n.func.bits() & 1);
+        break;
+      case NodeType::kOutput:
+        os << "output " << n.fanins[0].value() << ' ' << n.name;
+        break;
+      case NodeType::kDff:
+        os << "dff " << (n.fanins[0].valid() ? static_cast<long long>(n.fanins[0].value()) : -1LL);
+        if (!n.name.empty()) os << " name=" << n.name;
+        break;
+      case NodeType::kComb: {
+        os << "comb " << n.func.num_vars() << ' ' << std::hex << n.func.bits() << std::dec;
+        for (NodeId fi : n.fanins) os << ' ' << fi.value();
+        if (n.cell) os << " cell=" << cell_token(*n.cell);
+        if (n.has_config()) os << " config=" << static_cast<int>(n.config_tag);
+        if (n.in_macro()) os << " macro=" << n.macro_rep.value();
+        if (!n.name.empty()) os << " name=" << n.name;
+        break;
+      }
+    }
+    os << '\n';
+  }
+  os << "end\n";
+}
+
+bool save_netlist(const std::string& path, const Netlist& nl) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_netlist(os, nl);
+  return static_cast<bool>(os);
+}
+
+ParseResult read_netlist(std::istream& is) {
+  ParseResult result;
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    result.ok = false;
+    result.error = "line " + std::to_string(lineno) + ": " + msg;
+    return result;
+  };
+
+  if (!std::getline(is, line) || line != "vpga-netlist 1") {
+    lineno = 1;
+    return fail("missing 'vpga-netlist 1' header");
+  }
+  lineno = 1;
+
+  Netlist nl;
+  bool saw_end = false;
+  // Deferred fixups: DFF D-pins may reference later nodes.
+  std::vector<std::pair<NodeId, std::uint32_t>> dff_fixups;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    if (kw == "name") {
+      std::string nm;
+      ls >> nm;
+      nl = Netlist(nm);
+      continue;
+    }
+    if (kw == "end") {
+      saw_end = true;
+      break;
+    }
+    if (kw != "node") return fail("expected 'node', 'name' or 'end'");
+
+    std::uint32_t id;
+    std::string type;
+    if (!(ls >> id >> type)) return fail("malformed node line");
+    if (id != nl.num_nodes())
+      return fail("node ids must be dense and ordered (got " + std::to_string(id) + ")");
+
+    if (type == "input") {
+      std::string nm;
+      ls >> nm;
+      nl.add_input(nm);
+    } else if (type == "const") {
+      int v;
+      if (!(ls >> v) || (v != 0 && v != 1)) return fail("const needs 0 or 1");
+      nl.add_constant(v == 1);
+    } else if (type == "output") {
+      std::uint32_t driver;
+      std::string nm;
+      if (!(ls >> driver >> nm)) return fail("output needs driver and name");
+      if (driver >= id) return fail("output driver must be an earlier node");
+      nl.add_output(NodeId(driver), nm);
+    } else if (type == "dff") {
+      long long d;
+      if (!(ls >> d)) return fail("dff needs a D id (or -1)");
+      const NodeId ff = nl.add_dff(NodeId{});
+      if (d >= 0) dff_fixups.emplace_back(ff, static_cast<std::uint32_t>(d));
+      std::string attr;
+      while (ls >> attr)
+        if (attr.rfind("name=", 0) == 0) nl.node(ff).name = attr.substr(5);
+    } else if (type == "comb") {
+      int nvars;
+      std::string bits_hex;
+      if (!(ls >> nvars >> bits_hex) || nvars < 0 || nvars > logic::TruthTable::kMaxVars)
+        return fail("comb needs arity and hex truth table");
+      std::uint64_t bits = 0;
+      try {
+        bits = std::stoull(bits_hex, nullptr, 16);
+      } catch (...) {
+        return fail("bad truth table '" + bits_hex + "'");
+      }
+      std::vector<NodeId> fanins;
+      for (int i = 0; i < nvars; ++i) {
+        std::uint32_t fi;
+        if (!(ls >> fi)) return fail("comb expects " + std::to_string(nvars) + " fanins");
+        if (fi >= id) return fail("comb fanins must be earlier nodes");
+        fanins.emplace_back(fi);
+      }
+      const NodeId c = nl.add_comb(logic::TruthTable(nvars, bits), std::move(fanins));
+      std::string attr;
+      while (ls >> attr) {
+        if (attr.rfind("cell=", 0) == 0) {
+          library::CellKind k;
+          if (!parse_cell(attr.substr(5), k)) return fail("unknown cell '" + attr + "'");
+          nl.node(c).cell = k;
+        } else if (attr.rfind("config=", 0) == 0) {
+          nl.node(c).config_tag = static_cast<std::uint8_t>(std::stoi(attr.substr(7)));
+        } else if (attr.rfind("macro=", 0) == 0) {
+          nl.node(c).macro_rep = NodeId(static_cast<std::uint32_t>(std::stoul(attr.substr(6))));
+        } else if (attr.rfind("name=", 0) == 0) {
+          nl.node(c).name = attr.substr(5);
+        } else {
+          return fail("unknown attribute '" + attr + "'");
+        }
+      }
+    } else {
+      return fail("unknown node type '" + type + "'");
+    }
+  }
+  if (!saw_end) return fail("missing 'end'");
+
+  for (const auto& [ff, d] : dff_fixups) {
+    if (d >= nl.num_nodes()) return fail("dff D id out of range");
+    nl.set_dff_input(ff, NodeId(d));
+  }
+  const auto check = nl.check();
+  if (!check.ok) return fail("netlist check failed: " + check.message);
+  result.ok = true;
+  result.netlist = std::move(nl);
+  return result;
+}
+
+ParseResult load_netlist(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    ParseResult r;
+    r.error = "cannot open " + path;
+    return r;
+  }
+  return read_netlist(is);
+}
+
+}  // namespace vpga::netlist

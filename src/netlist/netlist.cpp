@@ -1,0 +1,251 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace vpga::netlist {
+
+using logic::TruthTable;
+
+NodeId Netlist::push(Node n) {
+  nodes_.push_back(std::move(n));
+  return NodeId(nodes_.size() - 1);
+}
+
+NodeId Netlist::add_input(std::string name) {
+  Node n;
+  n.type = NodeType::kInput;
+  n.name = std::move(name);
+  const NodeId id = push(std::move(n));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_output(NodeId driver, std::string name) {
+  VPGA_ASSERT(driver.valid());
+  Node n;
+  n.type = NodeType::kOutput;
+  n.fanins = {driver};
+  n.name = std::move(name);
+  const NodeId id = push(std::move(n));
+  outputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_constant(bool value) {
+  Node n;
+  n.type = NodeType::kConst;
+  n.func = TruthTable(0, value ? 1 : 0);
+  return push(std::move(n));
+}
+
+NodeId Netlist::add_comb(const TruthTable& f, std::vector<NodeId> fanins, std::string name) {
+  VPGA_ASSERT_MSG(static_cast<std::size_t>(f.num_vars()) == fanins.size(),
+                  "truth table arity must equal fanin count");
+  for (NodeId fi : fanins) VPGA_ASSERT(fi.valid() && fi.index() < nodes_.size());
+  Node n;
+  n.type = NodeType::kComb;
+  n.func = f;
+  n.fanins = std::move(fanins);
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NodeId Netlist::add_dff(NodeId d, std::string name) {
+  Node n;
+  n.type = NodeType::kDff;
+  n.fanins = {d};
+  n.name = std::move(name);
+  const NodeId id = push(std::move(n));
+  dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::set_dff_input(NodeId dff, NodeId d) {
+  VPGA_ASSERT(node(dff).type == NodeType::kDff);
+  VPGA_ASSERT(d.valid());
+  node(dff).fanins[0] = d;
+}
+
+NodeId Netlist::add_not(NodeId a) { return add_comb(TruthTable(1, 0b01), {a}); }
+NodeId Netlist::add_buf(NodeId a) { return add_comb(TruthTable(1, 0b10), {a}); }
+NodeId Netlist::add_and(NodeId a, NodeId b) { return add_comb(TruthTable(2, 0b1000), {a, b}); }
+NodeId Netlist::add_or(NodeId a, NodeId b) { return add_comb(TruthTable(2, 0b1110), {a, b}); }
+NodeId Netlist::add_xor(NodeId a, NodeId b) { return add_comb(TruthTable(2, 0b0110), {a, b}); }
+NodeId Netlist::add_nand(NodeId a, NodeId b) { return add_comb(TruthTable(2, 0b0111), {a, b}); }
+NodeId Netlist::add_nor(NodeId a, NodeId b) { return add_comb(TruthTable(2, 0b0001), {a, b}); }
+NodeId Netlist::add_xnor(NodeId a, NodeId b) { return add_comb(TruthTable(2, 0b1001), {a, b}); }
+
+NodeId Netlist::add_mux(NodeId s, NodeId d0, NodeId d1) {
+  // Variable order (x0=s, x1=d0, x2=d1): f = s' d0 + s d1.
+  const auto s_t = TruthTable::var(3, 0);
+  const auto d0_t = TruthTable::var(3, 1);
+  const auto d1_t = TruthTable::var(3, 2);
+  return add_comb((~s_t & d0_t) | (s_t & d1_t), {s, d0, d1});
+}
+
+NodeId Netlist::add_xor3(NodeId a, NodeId b, NodeId c) {
+  return add_comb(logic::tt3::xor3(), {a, b, c});
+}
+
+NodeId Netlist::add_maj(NodeId a, NodeId b, NodeId c) {
+  return add_comb(logic::tt3::maj3(), {a, b, c});
+}
+
+std::vector<NodeId> Netlist::all_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) out.emplace_back(i);
+  return out;
+}
+
+std::vector<NodeId> Netlist::topo_order() const {
+  // Kahn's algorithm over the combinational dependency graph. DFF outputs,
+  // inputs and constants are sources; a DFF's D pin is a sink, so DFF fanin
+  // edges do not propagate ordering constraints.
+  std::vector<int> pending(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.type != NodeType::kComb && n.type != NodeType::kOutput) continue;
+    for (NodeId fi : n.fanins) {
+      const NodeType ft = nodes_[fi.index()].type;
+      if (ft == NodeType::kComb) ++pending[i];
+      (void)ft;
+    }
+  }
+  // Fanout adjacency restricted to comb/output sinks.
+  std::vector<std::vector<std::uint32_t>> fanouts(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.type != NodeType::kComb && n.type != NodeType::kOutput) continue;
+    for (NodeId fi : n.fanins)
+      if (nodes_[fi.index()].type == NodeType::kComb)
+        fanouts[fi.index()].push_back(static_cast<std::uint32_t>(i));
+  }
+  std::vector<NodeId> order;
+  std::vector<std::uint32_t> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeType t = nodes_[i].type;
+    if ((t == NodeType::kComb || t == NodeType::kOutput) && pending[i] == 0)
+      ready.push_back(static_cast<std::uint32_t>(i));
+  }
+  std::size_t expected = 0;
+  for (const Node& n : nodes_)
+    if (n.type == NodeType::kComb || n.type == NodeType::kOutput) ++expected;
+  while (!ready.empty()) {
+    const std::uint32_t i = ready.back();
+    ready.pop_back();
+    order.emplace_back(i);
+    for (std::uint32_t o : fanouts[i])
+      if (--pending[o] == 0) ready.push_back(o);
+  }
+  VPGA_ASSERT_MSG(order.size() == expected, "combinational cycle in netlist");
+  return order;
+}
+
+std::vector<int> Netlist::fanout_counts() const {
+  std::vector<int> out(nodes_.size(), 0);
+  for (const Node& n : nodes_)
+    for (NodeId fi : n.fanins)
+      if (fi.valid()) ++out[fi.index()];
+  return out;
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  for (const Node& n : nodes_) {
+    switch (n.type) {
+      case NodeType::kInput: ++s.inputs; break;
+      case NodeType::kOutput: ++s.outputs; break;
+      case NodeType::kDff:
+        ++s.dffs;
+        s.nand2_equiv += 4.0;
+        break;
+      case NodeType::kConst: ++s.constants; break;
+      case NodeType::kComb: {
+        ++s.comb;
+        if (n.is_mapped()) {
+          s.nand2_equiv += library::CellLibrary::standard().nand2_equivalents(*n.cell);
+        } else {
+          // Technology-independent weights by support size.
+          switch (n.func.support_size()) {
+            case 0: break;
+            case 1: s.nand2_equiv += 0.5; break;
+            case 2: s.nand2_equiv += 1.0; break;
+            case 3: s.nand2_equiv += 2.0; break;
+            default: s.nand2_equiv += 3.0; break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+Netlist::CheckResult Netlist::check() const {
+  auto fail = [](std::string msg) { return CheckResult{false, std::move(msg)}; };
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    for (NodeId fi : n.fanins) {
+      if (!fi.valid() || fi.index() >= nodes_.size())
+        return fail("node " + std::to_string(i) + " has an invalid fanin");
+      const NodeType ft = nodes_[fi.index()].type;
+      if (ft == NodeType::kOutput)
+        return fail("node " + std::to_string(i) + " reads a primary output");
+    }
+    switch (n.type) {
+      case NodeType::kComb:
+        if (static_cast<std::size_t>(n.func.num_vars()) != n.fanins.size())
+          return fail("node " + std::to_string(i) + " arity mismatch");
+        break;
+      case NodeType::kOutput:
+      case NodeType::kDff:
+        if (n.fanins.size() != 1)
+          return fail("node " + std::to_string(i) + " must have exactly one fanin");
+        break;
+      case NodeType::kInput:
+      case NodeType::kConst:
+        if (!n.fanins.empty())
+          return fail("node " + std::to_string(i) + " must have no fanins");
+        break;
+    }
+  }
+  // Cycle check mirrors topo_order without aborting.
+  std::vector<int> pending(nodes_.size(), 0);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.type != NodeType::kComb && n.type != NodeType::kOutput) continue;
+    ++expected;
+    for (NodeId fi : n.fanins)
+      if (nodes_[fi.index()].type == NodeType::kComb) ++pending[i];
+  }
+  std::vector<std::vector<std::uint32_t>> fanouts(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.type != NodeType::kComb && n.type != NodeType::kOutput) continue;
+    for (NodeId fi : n.fanins)
+      if (nodes_[fi.index()].type == NodeType::kComb)
+        fanouts[fi.index()].push_back(static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::uint32_t> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeType t = nodes_[i].type;
+    if ((t == NodeType::kComb || t == NodeType::kOutput) && pending[i] == 0)
+      ready.push_back(static_cast<std::uint32_t>(i));
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const std::uint32_t i = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (std::uint32_t o : fanouts[i])
+      if (--pending[o] == 0) ready.push_back(o);
+  }
+  if (visited != expected) return fail("combinational cycle detected");
+  return {};
+}
+
+}  // namespace vpga::netlist

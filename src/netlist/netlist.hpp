@@ -1,0 +1,151 @@
+#pragma once
+/// \file netlist.hpp
+/// Gate-level netlist — the common IR of the whole flow.
+///
+/// A netlist is an arena of nodes. Combinational nodes compute a truth table
+/// over their fanins; DFF nodes hold state (their output is the Q pin, their
+/// single fanin the D pin); inputs/outputs/constants are boundary nodes.
+/// The same structure carries a design through every stage: the design
+/// generators emit generic logic, the technology mapper re-expresses it in
+/// restricted-library cells, and the compaction pass re-groups cells into PLB
+/// configurations (recorded in an opaque `config_tag` so this substrate does
+/// not depend on the architecture layer above it).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "library/cells.hpp"
+#include "logic/truth_table.hpp"
+
+namespace vpga::netlist {
+
+struct NodeTag;
+/// Handle to a node; a node's output is the (single) net it drives.
+using NodeId = common::Id<NodeTag>;
+
+enum class NodeType : std::uint8_t {
+  kConst,   ///< constant 0/1 (value in `func` bit 0)
+  kInput,   ///< primary input
+  kOutput,  ///< primary output (one fanin, no function)
+  kComb,    ///< combinational node: func over fanins
+  kDff,     ///< D flip-flop: fanin[0] = D, output = Q
+};
+
+/// One netlist node.
+struct Node {
+  static constexpr std::uint8_t kNoConfig = 0xFF;
+
+  NodeType type = NodeType::kComb;
+  /// For kComb: the function over `fanins` (func.num_vars() == fanins.size()).
+  /// For kConst: bit 0 is the constant's value.
+  logic::TruthTable func;
+  std::vector<NodeId> fanins;
+  std::string name;
+  /// Technology mapping result (set by synth::map; absent on generic nodes).
+  std::optional<library::CellKind> cell;
+  /// PLB configuration (raw core::ConfigKind; set by the compaction pass).
+  std::uint8_t config_tag = kNoConfig;
+  /// Multi-output macro grouping (e.g. the full-adder configuration, which
+  /// produces SUM and COUT from one PLB): all members point at the
+  /// representative node; the representative points at itself. Invalid for
+  /// ordinary single-output nodes.
+  NodeId macro_rep;
+
+  [[nodiscard]] bool is_mapped() const { return cell.has_value(); }
+  [[nodiscard]] bool has_config() const { return config_tag != kNoConfig; }
+  [[nodiscard]] bool in_macro() const { return macro_rep.valid(); }
+};
+
+/// Aggregate size/character statistics.
+struct NetlistStats {
+  int inputs = 0;
+  int outputs = 0;
+  int dffs = 0;
+  int comb = 0;
+  int constants = 0;
+  /// Technology-independent size estimate in 2-input-NAND equivalents
+  /// (the unit the paper's Table 2 uses for "No. of gates").
+  double nand2_equiv = 0.0;
+  /// Fraction of logic nodes that are sequential — the property that drives
+  /// the paper's Firewire result.
+  [[nodiscard]] double sequential_fraction() const {
+    const int logic_nodes = dffs + comb;
+    return logic_nodes == 0 ? 0.0 : static_cast<double>(dffs) / logic_nodes;
+  }
+};
+
+/// The netlist arena.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  /// --- construction ---------------------------------------------------------
+
+  NodeId add_input(std::string name);
+  NodeId add_output(NodeId driver, std::string name);
+  NodeId add_constant(bool value);
+  /// Adds a combinational node; f.num_vars() must equal fanins.size().
+  NodeId add_comb(const logic::TruthTable& f, std::vector<NodeId> fanins,
+                  std::string name = {});
+  /// Adds a DFF. `d` may be invalid and connected later via set_dff_input
+  /// (needed for feedback registers).
+  NodeId add_dff(NodeId d, std::string name = {});
+  void set_dff_input(NodeId dff, NodeId d);
+
+  /// Gate sugar for the design generators (generic, unmapped logic).
+  NodeId add_not(NodeId a);
+  NodeId add_buf(NodeId a);
+  NodeId add_and(NodeId a, NodeId b);
+  NodeId add_or(NodeId a, NodeId b);
+  NodeId add_xor(NodeId a, NodeId b);
+  NodeId add_nand(NodeId a, NodeId b);
+  NodeId add_nor(NodeId a, NodeId b);
+  NodeId add_xnor(NodeId a, NodeId b);
+  /// MUX: s == 0 -> d0, s == 1 -> d1.
+  NodeId add_mux(NodeId s, NodeId d0, NodeId d1);
+  NodeId add_xor3(NodeId a, NodeId b, NodeId c);
+  NodeId add_maj(NodeId a, NodeId b, NodeId c);
+
+  /// --- access ---------------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id.index()]; }
+  [[nodiscard]] Node& node(NodeId id) { return nodes_[id.index()]; }
+  [[nodiscard]] const std::vector<NodeId>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<NodeId>& outputs() const { return outputs_; }
+  [[nodiscard]] const std::vector<NodeId>& dffs() const { return dffs_; }
+  /// Every node id, in creation order.
+  [[nodiscard]] std::vector<NodeId> all_nodes() const;
+
+  /// --- analysis ---------------------------------------------------------------
+
+  /// Combinational nodes and outputs in dependency order (inputs, constants
+  /// and DFF outputs are sources; DFF D-pins are sinks). Asserts on
+  /// combinational cycles.
+  [[nodiscard]] std::vector<NodeId> topo_order() const;
+  /// fanout[i] = number of fanin references to node i.
+  [[nodiscard]] std::vector<int> fanout_counts() const;
+  [[nodiscard]] NetlistStats stats() const;
+
+  /// Structural well-formedness: arities match, references valid, outputs
+  /// wired, no combinational cycles. Returns an explanatory message on error.
+  struct CheckResult {
+    bool ok = true;
+    std::string message;
+  };
+  [[nodiscard]] CheckResult check() const;
+
+ private:
+  NodeId push(Node n);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_, outputs_, dffs_;
+};
+
+}  // namespace vpga::netlist

@@ -1,0 +1,33 @@
+#pragma once
+/// \file verilog.hpp
+/// Structural Verilog-2001 export.
+///
+/// Emits a synthesizable gate-level module from any netlist: combinational
+/// nodes become sum-of-products `assign`s over their fanin wires (common
+/// gates are pretty-printed), registers become a clocked always block. This
+/// is the interop path out of the flow — the emitted module can be simulated
+/// or re-synthesized by any external tool.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace vpga::netlist {
+
+struct VerilogOptions {
+  std::string clock_name = "clk";
+  /// Emit `// cell:`/`// config:` annotations on mapped nodes.
+  bool annotate = true;
+};
+
+/// Writes `nl` as one Verilog module (named after the netlist, sanitized).
+void write_verilog(std::ostream& os, const Netlist& nl, const VerilogOptions& opts = {});
+std::string to_verilog(const Netlist& nl, const VerilogOptions& opts = {});
+bool save_verilog(const std::string& path, const Netlist& nl, const VerilogOptions& opts = {});
+
+/// Sanitizes an arbitrary net name into a plain Verilog identifier
+/// (brackets and other punctuation become underscores; empty -> fallback).
+std::string verilog_identifier(const std::string& name, const std::string& fallback);
+
+}  // namespace vpga::netlist

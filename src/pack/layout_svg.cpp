@@ -1,0 +1,81 @@
+#include "pack/layout_svg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace vpga::pack {
+
+std::string layout_svg(const netlist::Netlist& nl, const PackedDesign& packed,
+                       const core::PlbArchitecture& arch) {
+  const int gw = packed.grid_w, gh = packed.grid_h;
+  const double cell = 12.0;  // pixels per tile
+  const double margin = 24.0;
+
+  // Per-tile slot usage and content flags.
+  int total_slots = 0;
+  for (int c = 0; c < core::kNumPlbComponents; ++c)
+    total_slots += arch.component_count[static_cast<std::size_t>(c)];
+  std::vector<int> used(static_cast<std::size_t>(gw) * gh, 0);
+  std::vector<char> has_fa(static_cast<std::size_t>(gw) * gh, 0);
+  std::vector<char> has_ff(static_cast<std::size_t>(gw) * gh, 0);
+  for (netlist::NodeId id : nl.all_nodes()) {
+    const auto& n = nl.node(id);
+    const int t = packed.tile_of_node[id.index()];
+    if (t < 0) continue;
+    if (n.type == netlist::NodeType::kDff) {
+      has_ff[static_cast<std::size_t>(t)] = 1;
+      used[static_cast<std::size_t>(t)] += 1;
+    } else if (n.type == netlist::NodeType::kComb && n.has_config()) {
+      if (n.in_macro() && n.macro_rep != id) continue;  // counted at rep
+      const auto tag = static_cast<core::ConfigKind>(n.config_tag);
+      if (tag == core::ConfigKind::kFullAdder) has_fa[static_cast<std::size_t>(t)] = 1;
+      used[static_cast<std::size_t>(t)] +=
+          static_cast<int>(core::config_spec(tag).needs.size());
+    }
+  }
+
+  std::ostringstream os;
+  const double w = margin * 2 + gw * cell;
+  const double h = margin * 2 + gh * cell + 40;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w << "' height='" << h
+     << "' viewBox='0 0 " << w << ' ' << h << "'>\n";
+  os << "<rect width='100%' height='100%' fill='white'/>\n";
+  os << "<text x='" << margin << "' y='16' font-family='monospace' font-size='12'>"
+     << nl.name() << " on " << arch.name << ": " << packed.plbs_used << '/' << gw * gh
+     << " tiles</text>\n";
+  for (int y = 0; y < gh; ++y) {
+    for (int x = 0; x < gw; ++x) {
+      const std::size_t t = static_cast<std::size_t>(y) * gw + x;
+      const double fill = total_slots > 0
+                              ? std::min(1.0, static_cast<double>(used[t]) / total_slots)
+                              : 0.0;
+      // Empty: light gray; occupied: blue ramp; FA macro: orange outline.
+      const int blue = static_cast<int>(235 - fill * 160);
+      const char* stroke = has_fa[t] ? "#d95f02" : "#999";
+      os << "<rect x='" << margin + x * cell << "' y='" << margin + y * cell << "' width='"
+         << cell - 1 << "' height='" << cell - 1 << "' fill='rgb(" << blue - 20 << ','
+         << blue << ",245)' stroke='" << stroke << "' stroke-width='"
+         << (has_fa[t] ? 1.5 : 0.4) << "'/>\n";
+      if (has_ff[t])
+        os << "<circle cx='" << margin + x * cell + cell / 2 << "' cy='"
+           << margin + y * cell + cell / 2 << "' r='1.6' fill='#1b9e77'/>\n";
+    }
+  }
+  const double ly = margin + gh * cell + 18;
+  os << "<text x='" << margin << "' y='" << ly
+     << "' font-family='monospace' font-size='10'>shade = slot utilization; orange "
+        "outline = full-adder macro; dot = flip-flop</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+bool write_layout_svg(const std::string& path, const netlist::Netlist& nl,
+                      const PackedDesign& packed, const core::PlbArchitecture& arch) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << layout_svg(nl, packed, arch);
+  return static_cast<bool>(os);
+}
+
+}  // namespace vpga::pack

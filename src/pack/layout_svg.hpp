@@ -1,0 +1,23 @@
+#pragma once
+/// \file layout_svg.hpp
+/// SVG rendering of a packed PLB array — the quickest way to see what the
+/// legalizer did: tile occupancy, full-adder macros, flip-flops and the
+/// congestion of each region.
+
+#include <string>
+
+#include "pack/packer.hpp"
+
+namespace vpga::pack {
+
+/// Writes an SVG of the packed array. Tiles are shaded by slot utilization;
+/// tiles hosting a full-adder macro are outlined. Returns false if the file
+/// cannot be written.
+bool write_layout_svg(const std::string& path, const netlist::Netlist& nl,
+                      const PackedDesign& packed, const core::PlbArchitecture& arch);
+
+/// Same, to a string (for tests).
+std::string layout_svg(const netlist::Netlist& nl, const PackedDesign& packed,
+                       const core::PlbArchitecture& arch);
+
+}  // namespace vpga::pack

@@ -1,0 +1,366 @@
+#include "pack/packer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace vpga::pack {
+namespace {
+
+using core::ConfigKind;
+using core::PlbArchitecture;
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeType;
+
+/// True for nodes that occupy PLB component slots.
+bool consumes_slots(const Netlist& nl, NodeId id) {
+  const auto& n = nl.node(id);
+  if (n.type == NodeType::kDff) return true;
+  return n.type == NodeType::kComb && n.has_config();
+}
+
+/// True for nodes that live in a tile but use no slots (PLB input buffers).
+bool is_free_rider(const Netlist& nl, NodeId id) {
+  const auto& n = nl.node(id);
+  return n.type == NodeType::kComb && !n.has_config();
+}
+
+ConfigKind config_of(const Netlist& nl, NodeId id) {
+  const auto& n = nl.node(id);
+  if (n.type == NodeType::kDff) return ConfigKind::kFf;
+  return static_cast<ConfigKind>(n.config_tag);
+}
+
+/// An atomic packing unit: a single configuration node, or a multi-output
+/// macro (full adder) whose members must land in the same tile.
+struct Group {
+  std::uint32_t rep = 0;
+  std::vector<std::uint32_t> members;
+  std::vector<ConfigKind> configs;
+};
+
+std::vector<Group> build_groups(const Netlist& nl) {
+  std::vector<Group> groups;
+  std::unordered_map<std::uint32_t, std::size_t> index_of_rep;
+  for (NodeId id : nl.all_nodes()) {
+    if (!consumes_slots(nl, id)) continue;
+    const auto& n = nl.node(id);
+    const std::uint32_t rep = n.in_macro() ? n.macro_rep.value() : id.value();
+    auto it = index_of_rep.find(rep);
+    if (it == index_of_rep.end()) {
+      it = index_of_rep.emplace(rep, groups.size()).first;
+      groups.push_back(Group{rep, {}, {}});
+    }
+    groups[it->second].members.push_back(id.value());
+  }
+  for (auto& g : groups) {
+    if (g.members.size() > 1 || nl.node(NodeId(g.rep)).in_macro()) {
+      // Macro: one combined configuration (currently only the full adder).
+      g.configs = {config_of(nl, NodeId(g.rep))};
+    } else {
+      g.configs = {config_of(nl, NodeId(g.members[0]))};
+    }
+  }
+  return groups;
+}
+
+/// A tile being filled.
+struct Tile {
+  std::vector<ConfigKind> contents;
+};
+
+/// Hall-condition feasibility of a demand multiset against `tiles` copies of
+/// the architecture's slots (necessary aggregate condition used to balance
+/// quadrants; per-tile grouping is enforced later by fits_in_one_plb).
+bool hall_feasible(const PlbArchitecture& arch, int tiles,
+                   const std::map<core::ComponentClass, int>& demand) {
+  for (unsigned subset = 0; subset < (1u << core::kNumPlbComponents); ++subset) {
+    int cap = 0;
+    for (int c = 0; c < core::kNumPlbComponents; ++c)
+      if (subset & (1u << c)) cap += tiles * arch.component_count[static_cast<std::size_t>(c)];
+    int need = 0;
+    for (const auto& [mask, count] : demand)
+      if ((mask & ~subset) == 0) need += count;
+    if (need > cap) return false;
+  }
+  return true;
+}
+
+void add_demand(std::map<core::ComponentClass, int>& d, const Group& g) {
+  for (ConfigKind k : g.configs)
+    for (auto cls : core::config_spec(k).needs) ++d[cls];
+}
+
+}  // namespace
+
+int first_fit_tile_count(const Netlist& nl, const PlbArchitecture& arch) {
+  const auto groups = build_groups(nl);
+  std::vector<Tile> tiles;
+  for (const auto& g : groups) {
+    bool placed = false;
+    for (auto& t : tiles) {
+      const auto before = t.contents.size();
+      t.contents.insert(t.contents.end(), g.configs.begin(), g.configs.end());
+      if (core::fits_in_one_plb(arch, t.contents)) {
+        placed = true;
+        break;
+      }
+      t.contents.resize(before);
+    }
+    if (!placed) tiles.push_back(Tile{g.configs});
+  }
+  return static_cast<int>(tiles.size());
+}
+
+PackedDesign pack(const Netlist& nl, const place::Placement& placed,
+                  const PlbArchitecture& arch, const PackOptions& opts) {
+  PackedDesign out;
+  out.tile_size_um = std::sqrt(arch.tile_area_um2);
+  out.legal = placed;
+  out.tile_of_node.assign(nl.num_nodes(), -1);
+
+  const auto groups = build_groups(nl);
+
+  const int lower_bound = std::max(1, first_fit_tile_count(nl, arch));
+  int target_tiles = std::max(
+      1, static_cast<int>(std::ceil(static_cast<double>(lower_bound) * opts.initial_margin)));
+
+  auto group_criticality = [&](const Group& g) {
+    if (opts.criticality.empty()) return 0.0;
+    double c = 0.0;
+    for (auto v : g.members) c = std::max(c, opts.criticality[v]);
+    return c;
+  };
+
+  for (;; target_tiles = std::max(target_tiles + 1,
+                                  static_cast<int>(target_tiles * 1.06)),
+          ++out.grow_attempts) {
+    const int gw = std::max(1, static_cast<int>(std::ceil(std::sqrt(target_tiles))));
+    const int gh = (target_tiles + gw - 1) / gw;
+    std::vector<Tile> tiles(static_cast<std::size_t>(gw) * gh);
+    std::vector<int> tile_of(nl.num_nodes(), -1);
+
+    // Map placed coordinates onto the tile grid (group position = its rep's).
+    const double sx = placed.width_um > 0 ? gw / placed.width_um : 1.0;
+    const double sy = placed.height_um > 0 ? gh / placed.height_um : 1.0;
+    auto tile_x = [&](const Group& g) {
+      return std::clamp(static_cast<int>(placed.pos[g.rep].x * sx), 0, gw - 1);
+    };
+    auto tile_y = [&](const Group& g) {
+      return std::clamp(static_cast<int>(placed.pos[g.rep].y * sy), 0, gh - 1);
+    };
+
+    // --- recursive quadrisection: region assignment balancing supply/demand.
+    // Each region is a tile rectangle plus the groups currently assigned to
+    // it; when a quadrant's demand violates the Hall condition against its
+    // slot supply, its least-critical groups spill to the sibling with slack.
+    struct Region {
+      int x0, y0, w, h;
+      std::vector<std::size_t> items;  // indices into `groups`
+    };
+    std::vector<Region> leaves;
+    auto quadrisect = [&](auto&& self, Region r) -> void {
+      if (r.w <= 1 && r.h <= 1) {
+        leaves.push_back(std::move(r));
+        return;
+      }
+      const int wl = std::max(1, r.w / 2), hl = std::max(1, r.h / 2);
+      Region quad[4];
+      const int splits_x = r.w > 1 ? 2 : 1;
+      const int splits_y = r.h > 1 ? 2 : 1;
+      int nq = 0;
+      for (int qy = 0; qy < splits_y; ++qy)
+        for (int qx = 0; qx < splits_x; ++qx) {
+          quad[nq].x0 = r.x0 + qx * wl;
+          quad[nq].y0 = r.y0 + qy * hl;
+          quad[nq].w = qx == splits_x - 1 ? r.w - qx * wl : wl;
+          quad[nq].h = qy == splits_y - 1 ? r.h - qy * hl : hl;
+          ++nq;
+        }
+      auto quadrant_of = [&](std::size_t gi) {
+        const int tx = tile_x(groups[gi]), ty = tile_y(groups[gi]);
+        for (int q = 0; q < nq; ++q)
+          if (tx >= quad[q].x0 && tx < quad[q].x0 + quad[q].w && ty >= quad[q].y0 &&
+              ty < quad[q].y0 + quad[q].h)
+            return q;
+        return 0;
+      };
+      std::map<core::ComponentClass, int> demand[4];
+      for (auto gi : r.items) {
+        const int q = quadrant_of(gi);
+        quad[q].items.push_back(gi);
+        add_demand(demand[q], groups[gi]);
+      }
+      // Rebalance: spill least-critical groups from infeasible quadrants.
+      for (int q = 0; q < nq; ++q) {
+        auto& src = quad[q];
+        std::sort(src.items.begin(), src.items.end(), [&](std::size_t a, std::size_t b) {
+          return group_criticality(groups[a]) > group_criticality(groups[b]);
+        });
+        while (!src.items.empty() &&
+               !hall_feasible(arch, src.w * src.h, demand[q])) {
+          const auto gi = src.items.back();
+          src.items.pop_back();
+          for (ConfigKind k : groups[gi].configs)
+            for (auto cls : core::config_spec(k).needs) --demand[q][cls];
+          // Receiver: the sibling with the most slack that stays feasible.
+          int best = -1;
+          int best_slack = -1;
+          for (int q2 = 0; q2 < nq; ++q2) {
+            if (q2 == q) continue;
+            auto d2 = demand[q2];
+            add_demand(d2, groups[gi]);
+            if (!hall_feasible(arch, quad[q2].w * quad[q2].h, d2)) continue;
+            int cap = 0, used = 0;
+            for (int c = 0; c < core::kNumPlbComponents; ++c)
+              cap += quad[q2].w * quad[q2].h * arch.component_count[static_cast<std::size_t>(c)];
+            for (const auto& [mask, count] : d2) used += count;
+            if (cap - used > best_slack) {
+              best_slack = cap - used;
+              best = q2;
+            }
+          }
+          if (best < 0) {  // parent region too tight: keep and let spiral fix
+            src.items.push_back(gi);
+            add_demand(demand[q], groups[gi]);
+            break;
+          }
+          quad[best].items.push_back(gi);
+          add_demand(demand[best], groups[gi]);
+        }
+      }
+      for (int q = 0; q < nq; ++q) self(self, std::move(quad[q]));
+    };
+    Region root{0, 0, gw, gh, {}};
+    root.items.resize(groups.size());
+    for (std::size_t i = 0; i < groups.size(); ++i) root.items[i] = i;
+    quadrisect(quadrisect, std::move(root));
+
+    // --- leaf filling + spiral relocation for overflow -----------------------
+    bool ok = true;
+    auto try_place = [&](std::size_t gi, int tx, int ty) {
+      Tile& t = tiles[static_cast<std::size_t>(ty) * gw + tx];
+      const auto before = t.contents.size();
+      t.contents.insert(t.contents.end(), groups[gi].configs.begin(),
+                        groups[gi].configs.end());
+      if (core::fits_in_one_plb(arch, t.contents)) {
+        for (auto v : groups[gi].members) tile_of[v] = ty * gw + tx;
+        return true;
+      }
+      t.contents.resize(before);
+      return false;
+    };
+    // Two-phase fill, wide footprints first: a full-adder macro needs a
+    // completely free tile, so all macros claim tiles (leaf position, then
+    // nearest-available spiral) before single configurations trickle in —
+    // otherwise stranded macros force array growth.
+    auto footprint = [&](std::size_t gi) {
+      std::size_t slots = 0;
+      for (ConfigKind k : groups[gi].configs) slots += core::config_spec(k).needs.size();
+      return slots;
+    };
+    auto spiral_place = [&](std::size_t gi) {
+      const int cx = tile_x(groups[gi]), cy = tile_y(groups[gi]);
+      for (int radius = 0; radius < gw + gh; ++radius) {
+        for (int dy = -radius; dy <= radius; ++dy) {
+          for (int dx = -radius; dx <= radius; ++dx) {
+            if (std::max(std::abs(dx), std::abs(dy)) != radius) continue;
+            const int tx = cx + dx, ty = cy + dy;
+            if (tx < 0 || ty < 0 || tx >= gw || ty >= gh) continue;
+            if (try_place(gi, tx, ty)) return true;
+          }
+        }
+      }
+      return false;
+    };
+    constexpr std::size_t kBigFootprint = 3;  // >= XOANDMX / FA class
+    for (const bool big_phase : {true, false}) {
+      std::vector<std::size_t> overflow;
+      for (const auto& leaf : leaves)
+        for (auto gi : leaf.items) {
+          if ((footprint(gi) >= kBigFootprint) != big_phase) continue;
+          if (!try_place(gi, leaf.x0, leaf.y0)) overflow.push_back(gi);
+        }
+      std::sort(overflow.begin(), overflow.end(), [&](std::size_t a, std::size_t b) {
+        if (footprint(a) != footprint(b)) return footprint(a) > footprint(b);
+        return group_criticality(groups[a]) > group_criticality(groups[b]);
+      });
+      for (auto gi : overflow)
+        if (!spiral_place(gi)) { ok = false; break; }
+      if (!ok) break;
+    }
+    if (!ok) continue;  // grow the array and retry
+
+    // --- success: finalize ----------------------------------------------------
+    out.grid_w = gw;
+    out.grid_h = gh;
+    out.tile_of_node = std::move(tile_of);
+    out.die_area_um2 = static_cast<double>(gw) * gh * arch.tile_area_um2;
+    // Legalized positions: tile centers; I/O scaled onto the new die.
+    out.legal.width_um = gw * out.tile_size_um;
+    out.legal.height_um = gh * out.tile_size_um;
+    const double ix = placed.width_um > 0 ? out.legal.width_um / placed.width_um : 1.0;
+    const double iy = placed.height_um > 0 ? out.legal.height_um / placed.height_um : 1.0;
+    for (NodeId id : nl.all_nodes()) {
+      out.legal.pos[id.index()] = {placed.pos[id.index()].x * ix,
+                                   placed.pos[id.index()].y * iy};
+    }
+    double total_disp = 0.0, max_disp = 0.0;
+    for (NodeId id : nl.all_nodes()) {
+      const int t = out.tile_of_node[id.index()];
+      if (t < 0) continue;
+      const place::Point center = {(t % gw + 0.5) * out.tile_size_um,
+                                   (t / gw + 0.5) * out.tile_size_um};
+      const double dx = center.x - out.legal.pos[id.index()].x;
+      const double dy = center.y - out.legal.pos[id.index()].y;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      total_disp += d;
+      max_disp = std::max(max_disp, d);
+      out.legal.pos[id.index()] = center;
+    }
+    out.total_displacement_um = total_disp;
+    out.max_displacement_um = max_disp;
+    // Free riders (input buffers/inverters) ride in their driver's tile when
+    // possible, else stay put (they consume no slots).
+    for (NodeId id : nl.all_nodes()) {
+      if (!is_free_rider(nl, id)) continue;
+      const auto& n = nl.node(id);
+      if (!n.fanins.empty() && n.fanins[0].valid()) {
+        const int t = out.tile_of_node[n.fanins[0].index()];
+        if (t >= 0) {
+          out.tile_of_node[id.index()] = t;
+          out.legal.pos[id.index()] = {(t % gw + 0.5) * out.tile_size_um,
+                                       (t / gw + 0.5) * out.tile_size_um};
+        }
+      }
+    }
+    int used = 0;
+    std::array<int, core::kNumPlbComponents> slots_used{};
+    for (const auto& t : tiles) {
+      if (t.contents.empty()) continue;
+      ++used;
+      for (ConfigKind k : t.contents)
+        for (auto cls : core::config_spec(k).needs)
+          for (int c = 0; c < core::kNumPlbComponents; ++c)
+            if (core::class_accepts(cls, static_cast<core::PlbComponent>(c))) {
+              // Attribution for the report only: count against the first
+              // accepting component kind.
+              ++slots_used[static_cast<std::size_t>(c)];
+              break;
+            }
+    }
+    out.plbs_used = used;
+    for (int c = 0; c < core::kNumPlbComponents; ++c) {
+      const int cap = used * arch.component_count[static_cast<std::size_t>(c)];
+      out.slot_utilization[static_cast<std::size_t>(c)] =
+          cap > 0 ? static_cast<double>(slots_used[static_cast<std::size_t>(c)]) / cap : 0.0;
+    }
+    return out;
+  }
+}
+
+}  // namespace vpga::pack

@@ -1,0 +1,55 @@
+#pragma once
+/// \file placement.hpp
+/// ASIC-style detailed placement of the (compacted) netlist — the substitute
+/// for the Dolphin physical-synthesis placement in the paper's flow.
+///
+/// The placer is deterministic: a locality-preserving initial placement,
+/// several force-directed median sweeps, then a bounded simulated-annealing
+/// swap refinement driven by (optionally criticality-weighted) HPWL. I/O
+/// nodes are pinned to the die periphery.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "library/cells.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vpga::place {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A placement: one position per netlist node (indexed by NodeId), plus the
+/// die footprint it was produced for.
+struct Placement {
+  std::vector<Point> pos;
+  double width_um = 0.0;
+  double height_um = 0.0;
+};
+
+struct PlacerOptions {
+  std::uint64_t seed = 1;
+  /// ASIC row utilization; die area = total cell area / utilization.
+  double utilization = 0.85;
+  int median_sweeps = 7;
+  /// SA budget in moves per node.
+  int sa_moves_per_node = 12;
+  /// Optional per-node criticality in [0,1]; weights the HPWL of nets
+  /// touching critical nodes (empty = uniform).
+  std::vector<double> criticality;
+};
+
+/// Places all logic nodes inside the die; PIs/POs on the periphery.
+Placement place(const netlist::Netlist& nl, const PlacerOptions& opts = {},
+                const library::CellLibrary& lib = library::CellLibrary::standard());
+
+/// Total half-perimeter wirelength over all nets (driver + sinks bounding box).
+double total_hpwl(const netlist::Netlist& nl, const Placement& p);
+
+/// Die area of an unpacked (flow a) implementation: cell area / utilization.
+double asic_die_area(const netlist::Netlist& nl, double utilization = 0.85,
+                     const library::CellLibrary& lib = library::CellLibrary::standard());
+
+}  // namespace vpga::place

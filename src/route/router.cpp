@@ -1,0 +1,279 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace vpga::route {
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+/// Edge-usage grid: horizontal edges (x,y)->(x+1,y) and vertical edges.
+struct UsageGrid {
+  int w, h;
+  std::vector<int> horiz;  // (w-1) * h
+  std::vector<int> vert;   // w * (h-1)
+
+  UsageGrid(int w_, int h_)
+      : w(w_), h(h_), horiz(static_cast<std::size_t>(std::max(0, w - 1)) * h, 0),
+        vert(static_cast<std::size_t>(w) * std::max(0, h - 1), 0) {}
+
+  int& h_edge(int x, int y) { return horiz[static_cast<std::size_t>(y) * (w - 1) + x]; }
+  int& v_edge(int x, int y) { return vert[static_cast<std::size_t>(y) * w + x]; }
+};
+
+struct TwoPin {
+  std::uint32_t driver;
+  int x0, y0, x1, y1;
+};
+
+/// Applies an L-route (x-first or y-first) to the usage grid; returns the
+/// maximum edge usage seen (for orientation choice) without double-walking.
+int walk_l(UsageGrid& g, const TwoPin& c, bool x_first, int delta) {
+  int peak = 0;
+  auto seg_h = [&](int xa, int xb, int y) {
+    for (int x = std::min(xa, xb); x < std::max(xa, xb); ++x) {
+      auto& u = g.h_edge(x, y);
+      u += delta;
+      peak = std::max(peak, u);
+    }
+  };
+  auto seg_v = [&](int ya, int yb, int x) {
+    for (int y = std::min(ya, yb); y < std::max(ya, yb); ++y) {
+      auto& u = g.v_edge(x, y);
+      u += delta;
+      peak = std::max(peak, u);
+    }
+  };
+  if (x_first) {
+    seg_h(c.x0, c.x1, c.y0);
+    seg_v(c.y0, c.y1, c.x1);
+  } else {
+    seg_v(c.y0, c.y1, c.x0);
+    seg_h(c.x0, c.x1, c.y1);
+  }
+  return peak;
+}
+
+/// Probes the max usage an L-route would see (delta = 0 walk).
+int probe_l(UsageGrid& g, const TwoPin& c, bool x_first) {
+  int peak = 0;
+  auto seg_h = [&](int xa, int xb, int y) {
+    for (int x = std::min(xa, xb); x < std::max(xa, xb); ++x)
+      peak = std::max(peak, g.h_edge(x, y));
+  };
+  auto seg_v = [&](int ya, int yb, int x) {
+    for (int y = std::min(ya, yb); y < std::max(ya, yb); ++y)
+      peak = std::max(peak, g.v_edge(x, y));
+  };
+  if (x_first) {
+    seg_h(c.x0, c.x1, c.y0);
+    seg_v(c.y0, c.y1, c.x1);
+  } else {
+    seg_v(c.y0, c.y1, c.x0);
+    seg_h(c.x0, c.x1, c.y1);
+  }
+  return peak;
+}
+
+/// Congestion-aware maze route (Dijkstra over grid edges) for connections
+/// the L-shapes cannot place without overflow. Edge cost: 1 + quadratic
+/// penalty above capacity. Returns the path as a node sequence and applies
+/// usage; returns the routed length in edges.
+int maze_route(UsageGrid& g, const TwoPin& c, int capacity) {
+  const int w = g.w, h = g.h;
+  const auto idx = [&](int x, int y) { return y * w + x; };
+  const int n = w * h;
+  std::vector<double> dist(static_cast<std::size_t>(n),
+                           std::numeric_limits<double>::infinity());
+  std::vector<int> prev(static_cast<std::size_t>(n), -1);
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  const int src = idx(c.x0, c.y0), dst = idx(c.x1, c.y1);
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  heap.emplace(0.0, src);
+  auto edge_cost = [&](int usage) {
+    const int over = usage + 1 - capacity;
+    return 1.0 + (over > 0 ? 4.0 * over * over : 0.0);
+  };
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (v == dst) break;
+    if (d > dist[static_cast<std::size_t>(v)]) continue;
+    const int x = v % w, y = v / w;
+    const int dx[4] = {1, -1, 0, 0}, dy[4] = {0, 0, 1, -1};
+    for (int k = 0; k < 4; ++k) {
+      const int nx = x + dx[k], ny = y + dy[k];
+      if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+      const int usage = dx[k] != 0 ? g.h_edge(std::min(x, nx), y) : g.v_edge(x, std::min(y, ny));
+      const double nd = d + edge_cost(usage);
+      const int u = idx(nx, ny);
+      if (nd < dist[static_cast<std::size_t>(u)]) {
+        dist[static_cast<std::size_t>(u)] = nd;
+        prev[static_cast<std::size_t>(u)] = v;
+        heap.emplace(nd, u);
+      }
+    }
+  }
+  if (prev[static_cast<std::size_t>(dst)] < 0 && src != dst) return -1;
+  // Walk back, applying usage.
+  int edges = 0;
+  for (int v = dst; v != src;) {
+    const int p = prev[static_cast<std::size_t>(v)];
+    const int x0 = p % w, y0 = p / w, x1 = v % w, y1 = v / w;
+    if (y0 == y1) ++g.h_edge(std::min(x0, x1), y0);
+    else ++g.v_edge(x0, std::min(y0, y1));
+    ++edges;
+    v = p;
+  }
+  return edges;
+}
+
+}  // namespace
+
+RoutingResult route(const Netlist& nl, const place::Placement& placed, double tile_um,
+                    const RouterOptions& opts) {
+  RoutingResult r;
+  VPGA_ASSERT(tile_um > 0.0);
+  r.tile_um = tile_um;
+  r.grid_w = std::max(2, static_cast<int>(std::ceil(placed.width_um / tile_um)) + 1);
+  r.grid_h = std::max(2, static_cast<int>(std::ceil(placed.height_um / tile_um)) + 1);
+  r.net_length_um.assign(nl.num_nodes(), 0.0);
+
+  auto gx = [&](double x) { return std::clamp(static_cast<int>(x / tile_um), 0, r.grid_w - 1); };
+  auto gy = [&](double y) { return std::clamp(static_cast<int>(y / tile_um), 0, r.grid_h - 1); };
+
+  // Net decomposition: minimum spanning tree over {driver, sinks} (Prim,
+  // Manhattan metric) — close to a Steiner topology for the small post-
+  // buffering fanouts and far shorter than a star for multi-sink nets.
+  std::vector<std::vector<std::uint32_t>> sinks(nl.num_nodes());
+  for (NodeId id : nl.all_nodes()) {
+    const auto& n = nl.node(id);
+    for (NodeId fi : n.fanins)
+      if (fi.valid()) sinks[fi.index()].push_back(id.value());
+  }
+  std::vector<TwoPin> pins;
+  for (NodeId id : nl.all_nodes()) {
+    const auto& net = sinks[id.index()];
+    if (net.empty()) continue;
+    // Terminal grid coordinates: driver first.
+    std::vector<std::pair<int, int>> pts;
+    pts.reserve(net.size() + 1);
+    pts.emplace_back(gx(placed.pos[id.index()].x), gy(placed.pos[id.index()].y));
+    for (auto s : net) pts.emplace_back(gx(placed.pos[s].x), gy(placed.pos[s].y));
+    // Prim's MST from the driver.
+    std::vector<char> in_tree(pts.size(), 0);
+    std::vector<int> best_dist(pts.size(), 1 << 29), best_from(pts.size(), 0);
+    in_tree[0] = 1;
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      if (!in_tree[k]) {
+        best_dist[k] = std::abs(pts[k].first - pts[0].first) +
+                       std::abs(pts[k].second - pts[0].second);
+      }
+    }
+    for (std::size_t added = 1; added < pts.size(); ++added) {
+      std::size_t pick = 0;
+      int pick_dist = 1 << 30;
+      for (std::size_t k = 1; k < pts.size(); ++k)
+        if (!in_tree[k] && best_dist[k] < pick_dist) {
+          pick = k;
+          pick_dist = best_dist[k];
+        }
+      in_tree[pick] = 1;
+      TwoPin c;
+      c.driver = id.value();
+      c.x0 = pts[static_cast<std::size_t>(best_from[pick])].first;
+      c.y0 = pts[static_cast<std::size_t>(best_from[pick])].second;
+      c.x1 = pts[pick].first;
+      c.y1 = pts[pick].second;
+      pins.push_back(c);
+      for (std::size_t k = 1; k < pts.size(); ++k) {
+        if (in_tree[k]) continue;
+        const int d = std::abs(pts[k].first - pts[pick].first) +
+                      std::abs(pts[k].second - pts[pick].second);
+        if (d < best_dist[k]) {
+          best_dist[k] = d;
+          best_from[k] = static_cast<int>(pick);
+        }
+      }
+    }
+  }
+  // Longer connections first: they have the least flexibility.
+  std::sort(pins.begin(), pins.end(), [](const TwoPin& a, const TwoPin& b) {
+    return std::abs(a.x1 - a.x0) + std::abs(a.y1 - a.y0) >
+           std::abs(b.x1 - b.x0) + std::abs(b.y1 - b.y0);
+  });
+
+  UsageGrid grid(r.grid_w, r.grid_h);
+  std::vector<char> x_first(pins.size(), 1);
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    const int px = probe_l(grid, pins[i], true);
+    const int py = probe_l(grid, pins[i], false);
+    x_first[i] = px <= py ? 1 : 0;
+    walk_l(grid, pins[i], x_first[i] != 0, +1);
+  }
+
+  // Negotiation: rip up connections through overloaded edges and re-choose
+  // the orientation under the updated congestion picture.
+  for (int iter = 0; iter < opts.ripup_iterations; ++iter) {
+    bool any = false;
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      const int current = probe_l(grid, pins[i], x_first[i] != 0);
+      if (current <= opts.capacity_per_edge) continue;
+      walk_l(grid, pins[i], x_first[i] != 0, -1);
+      const int px = probe_l(grid, pins[i], true);
+      const int py = probe_l(grid, pins[i], false);
+      const char nf = px <= py ? 1 : 0;
+      any = any || nf != x_first[i];
+      x_first[i] = nf;
+      walk_l(grid, pins[i], x_first[i] != 0, +1);
+    }
+    if (!any) break;
+  }
+
+  // Final repair: connections still riding overloaded edges abandon their
+  // L-shape for a congestion-priced maze detour.
+  std::vector<int> edges_of(pins.size());
+  for (std::size_t i = 0; i < pins.size(); ++i)
+    edges_of[i] = std::abs(pins[i].x1 - pins[i].x0) + std::abs(pins[i].y1 - pins[i].y0);
+  if (opts.ripup_iterations > 0) {
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      if (probe_l(grid, pins[i], x_first[i] != 0) <= opts.capacity_per_edge) continue;
+      walk_l(grid, pins[i], x_first[i] != 0, -1);
+      const int detour = maze_route(grid, pins[i], opts.capacity_per_edge);
+      if (detour >= 0) {
+        edges_of[i] = detour;
+      } else {
+        walk_l(grid, pins[i], x_first[i] != 0, +1);  // restore; keep the L
+      }
+    }
+  }
+
+  // Statistics and per-net lengths.
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    const double len = edges_of[i] * tile_um;
+    r.net_length_um[pins[i].driver] += len;
+    r.total_wirelength_um += len;
+  }
+  int overflow = 0;
+  int peak = 0;
+  for (int u : grid.horiz) {
+    peak = std::max(peak, u);
+    overflow += u > opts.capacity_per_edge ? 1 : 0;
+  }
+  for (int u : grid.vert) {
+    peak = std::max(peak, u);
+    overflow += u > opts.capacity_per_edge ? 1 : 0;
+  }
+  r.overflow_edges = overflow;
+  r.peak_congestion = static_cast<double>(peak) / std::max(1, opts.capacity_per_edge);
+  return r;
+}
+
+}  // namespace vpga::route

@@ -1,0 +1,45 @@
+#include "synth/buffering.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace vpga::synth {
+
+int insert_buffers(netlist::Netlist& nl, int max_fanout, const library::CellLibrary& lib) {
+  VPGA_ASSERT(max_fanout >= 2);
+  (void)lib;
+  int inserted = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Sink references per driver: (consumer node, fanin pin).
+    std::vector<std::vector<std::pair<netlist::NodeId, int>>> sinks(nl.num_nodes());
+    for (netlist::NodeId id : nl.all_nodes()) {
+      auto& n = nl.node(id);
+      for (std::size_t p = 0; p < n.fanins.size(); ++p)
+        if (n.fanins[p].valid())
+          sinks[n.fanins[p].index()].emplace_back(id, static_cast<int>(p));
+    }
+    const std::size_t original_count = nl.num_nodes();
+    for (std::size_t d = 0; d < original_count; ++d) {
+      const netlist::NodeId driver(d);
+      if (nl.node(driver).type == netlist::NodeType::kOutput) continue;
+      auto& fan = sinks[d];
+      if (static_cast<int>(fan.size()) <= max_fanout) continue;
+      // Keep the first max_fanout-1 sinks on the driver and move the rest
+      // behind a buffer; iterating again balances deep trees.
+      const auto keep = static_cast<std::size_t>(max_fanout - 1);
+      const auto buf = nl.add_comb(logic::TruthTable(1, 0b10), {driver});
+      nl.node(buf).cell = library::CellKind::kBuf;
+      for (std::size_t i = keep; i < fan.size(); ++i)
+        nl.node(fan[i].first).fanins[static_cast<std::size_t>(fan[i].second)] = buf;
+      ++inserted;
+      changed = true;
+    }
+  }
+  return inserted;
+}
+
+}  // namespace vpga::synth

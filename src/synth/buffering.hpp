@@ -1,0 +1,18 @@
+#pragma once
+/// \file buffering.hpp
+/// High-fanout buffering — part of the "physical synthesis" repertoire the
+/// paper delegates to Dolphin (buffer insertion to meet timing constraints).
+
+#include "library/cells.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vpga::synth {
+
+/// Splits every net with more than `max_fanout` sinks by inserting BUF cells
+/// (balanced groups; applied repeatedly so the buffer tree itself obeys the
+/// limit). Returns the number of buffers inserted. Works on mapped or generic
+/// netlists; inserted nodes carry the BUF cell annotation.
+int insert_buffers(netlist::Netlist& nl, int max_fanout,
+                   const library::CellLibrary& lib = library::CellLibrary::standard());
+
+}  // namespace vpga::synth

@@ -1,0 +1,107 @@
+#include "synth/cuts.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace vpga::synth {
+namespace {
+
+/// Remaps `tt` (over cut `from`) onto the leaf space of the merged cut `to`.
+std::uint8_t remap(std::uint8_t tt, const Cut& from, const Cut& to) {
+  std::uint8_t out = 0;
+  for (unsigned row = 0; row < 8; ++row) {
+    unsigned src = 0;
+    for (int i = 0; i < from.size; ++i) {
+      // Position of from.leaves[i] within to.leaves.
+      int pos = -1;
+      for (int j = 0; j < to.size; ++j)
+        if (to.leaves[static_cast<std::size_t>(j)] ==
+            from.leaves[static_cast<std::size_t>(i)]) {
+          pos = j;
+          break;
+        }
+      VPGA_ASSERT(pos >= 0);
+      if (row & (1u << pos)) src |= 1u << i;
+    }
+    if (tt & (1u << src)) out |= static_cast<std::uint8_t>(1u << row);
+  }
+  return out;
+}
+
+/// Merges the leaf sets; returns false if the union exceeds 3.
+bool merge_leaves(const Cut& a, const Cut& b, Cut& out) {
+  std::array<std::uint32_t, 6> tmp{};
+  int n = 0;
+  int i = 0, j = 0;
+  while (i < a.size || j < b.size) {
+    std::uint32_t next;
+    if (j >= b.size || (i < a.size && a.leaves[static_cast<std::size_t>(i)] <=
+                                          b.leaves[static_cast<std::size_t>(j)])) {
+      next = a.leaves[static_cast<std::size_t>(i)];
+      if (j < b.size && b.leaves[static_cast<std::size_t>(j)] == next) ++j;
+      ++i;
+    } else {
+      next = b.leaves[static_cast<std::size_t>(j)];
+      ++j;
+    }
+    if (n == 3) return false;
+    tmp[static_cast<std::size_t>(n++)] = next;
+  }
+  if (n > 3) return false;
+  out.size = static_cast<std::uint8_t>(n);
+  for (int k = 0; k < n; ++k) out.leaves[static_cast<std::size_t>(k)] = tmp[static_cast<std::size_t>(k)];
+  return true;
+}
+
+Cut trivial_cut(std::uint32_t node) {
+  Cut c;
+  c.size = 1;
+  c.leaves[0] = node;
+  c.tt = 0xAA;  // x0
+  return c;
+}
+
+}  // namespace
+
+CutDatabase::CutDatabase(const aig::Aig& g, int cut_limit) {
+  cuts_.resize(g.num_nodes());
+  for (std::uint32_t n = 1; n < g.num_nodes(); ++n) {
+    if (!g.node(n).is_and) {
+      cuts_[n].push_back(trivial_cut(n));
+      continue;
+    }
+    const auto f0 = g.node(n).fanin0;
+    const auto f1 = g.node(n).fanin1;
+    const auto& set0 = cuts_[aig::node_of(f0)];
+    const auto& set1 = cuts_[aig::node_of(f1)];
+    std::vector<Cut> result;
+    auto consider = [&](const Cut& c) {
+      if (std::find(result.begin(), result.end(), c) != result.end()) return;
+      result.push_back(c);
+    };
+    for (const Cut& a : set0) {
+      for (const Cut& b : set1) {
+        Cut merged;
+        if (!merge_leaves(a, b, merged)) continue;
+        std::uint8_t ta = remap(a.tt, a, merged);
+        std::uint8_t tb = remap(b.tt, b, merged);
+        if (aig::is_complemented(f0)) ta = static_cast<std::uint8_t>(~ta);
+        if (aig::is_complemented(f1)) tb = static_cast<std::uint8_t>(~tb);
+        merged.tt = ta & tb;
+        consider(merged);
+      }
+    }
+    // Priority: fewer leaves first (cheaper to match and pack), stable beyond.
+    std::stable_sort(result.begin(), result.end(),
+                     [](const Cut& a, const Cut& b) { return a.size < b.size; });
+    if (static_cast<int>(result.size()) > cut_limit) result.resize(static_cast<std::size_t>(cut_limit));
+    // The trivial cut last: always available for leaf use by fanouts.
+    result.push_back(trivial_cut(n));
+    cuts_[n] = std::move(result);
+  }
+  // Node 0 (constant): single trivial cut so lookups are total.
+  cuts_[0].push_back(trivial_cut(0));
+}
+
+}  // namespace vpga::synth

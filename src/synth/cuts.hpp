@@ -1,0 +1,54 @@
+#pragma once
+/// \file cuts.hpp
+/// Priority-cut enumeration over an AIG (k = 3, matching the 3-input PLB
+/// component cells and configurations).
+///
+/// Every AND node receives a bounded set of 3-feasible cuts, each with its
+/// local function as a 3-variable truth table over the (sorted) cut leaves.
+/// The mapper and the compaction pass both consume these cuts and match the
+/// functions exactly against coverage sets.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "logic/truth_table.hpp"
+
+namespace vpga::synth {
+
+/// One cut: up to 3 leaves (AIG node indices, strictly increasing) and the
+/// root's function over them.
+struct Cut {
+  std::array<std::uint32_t, 3> leaves{};
+  std::uint8_t size = 0;
+  /// Truth table over 3 variables; variables >= size are don't-cares.
+  std::uint8_t tt = 0;
+
+  [[nodiscard]] bool contains(std::uint32_t n) const {
+    for (int i = 0; i < size; ++i)
+      if (leaves[static_cast<std::size_t>(i)] == n) return true;
+    return false;
+  }
+  friend bool operator==(const Cut& a, const Cut& b) {
+    return a.size == b.size && a.leaves == b.leaves;
+  }
+};
+
+/// Per-node cut sets for the whole AIG.
+class CutDatabase {
+ public:
+  /// Enumerates cuts bottom-up, keeping at most `cut_limit` cuts per node
+  /// (smallest-leaf-count first — a good priority for exact matching). Every
+  /// node also keeps its trivial cut implicitly (leaf use).
+  CutDatabase(const aig::Aig& g, int cut_limit = 8);
+
+  [[nodiscard]] const std::vector<Cut>& cuts(std::uint32_t node) const {
+    return cuts_[node];
+  }
+
+ private:
+  std::vector<std::vector<Cut>> cuts_;
+};
+
+}  // namespace vpga::synth

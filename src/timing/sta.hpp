@@ -1,0 +1,51 @@
+#pragma once
+/// \file sta.hpp
+/// Static timing analysis with post-layout wire parasitics.
+///
+/// Arrival times propagate through the combinational network; wire delays
+/// use an Elmore estimate built from routed net lengths (or, pre-route, from
+/// placement Manhattan distances). Endpoints are primary outputs and DFF D
+/// pins (with setup); the report carries the paper's Table-2 metric — the
+/// average slack over the 10 most critical paths — plus per-node criticality
+/// for the timing-driven placement/packing loop.
+
+#include <vector>
+
+#include "library/characterize.hpp"
+#include "netlist/netlist.hpp"
+#include "place/placement.hpp"
+
+namespace vpga::timing {
+
+struct StaOptions {
+  double clock_period_ps = 2500.0;
+  /// Routed length per driver node (from route::RoutingResult). Empty:
+  /// Manhattan distance between placed cells is used per connection.
+  std::vector<double> net_length_um;
+  library::EffortModel process;
+};
+
+struct EndpointSlack {
+  netlist::NodeId endpoint;
+  double slack_ps = 0.0;
+};
+
+struct TimingReport {
+  double critical_delay_ps = 0.0;  ///< worst endpoint arrival (incl. setup)
+  double wns_ps = 0.0;             ///< worst negative (or least positive) slack
+  double tns_ps = 0.0;             ///< total negative slack
+  /// The K (<=10) worst endpoints, most critical first.
+  std::vector<EndpointSlack> top_endpoints;
+  /// Mean slack of the top-10 critical paths — the paper's Table 2 metric.
+  double avg_slack_top10_ps = 0.0;
+  /// Per-node criticality in [0, 1] for the placer/packer loops.
+  std::vector<double> criticality;
+};
+
+/// Runs STA over a placed (and optionally routed) netlist. Every comb node
+/// must carry a cell or configuration annotation for its timing arc.
+TimingReport analyze(const netlist::Netlist& nl, const place::Placement& placed,
+                     const StaOptions& opts,
+                     const library::CellLibrary& lib = library::CellLibrary::standard());
+
+}  // namespace vpga::timing

@@ -1,0 +1,90 @@
+// Tests for the textual PLB architecture format.
+
+#include "core/arch_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vpga::core {
+namespace {
+
+TEST(ArchIo, RoundTripStockArchitectures) {
+  for (const auto& arch : {PlbArchitecture::granular(), PlbArchitecture::lut_based(),
+                           PlbArchitecture::granular_with_ffs(3)}) {
+    const auto r = parse_architecture(architecture_to_string(arch));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.arch.name, arch.name);
+    EXPECT_EQ(r.arch.component_count, arch.component_count);
+    EXPECT_EQ(r.arch.configs, arch.configs);
+    EXPECT_DOUBLE_EQ(r.arch.tile_area_um2, arch.tile_area_um2);
+    EXPECT_DOUBLE_EQ(r.arch.comb_area_um2, arch.comb_area_um2);
+  }
+}
+
+TEST(ArchIo, ParsesHandWrittenDescription) {
+  const auto r = parse_architecture(
+      "# a controller-tuned tile\n"
+      "plb ctrl\n"
+      "  components xoa=1 mux=2 nd3=1 dff=2\n"
+      "  configs MX ND3 NDMX XOAMX FF\n"
+      "  tile_area 112\n"
+      "  comb_area 63.3\n"
+      "end\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.arch.name, "ctrl");
+  EXPECT_EQ(r.arch.count(PlbComponent::kDff), 2);
+  EXPECT_TRUE(r.arch.supports(ConfigKind::kNdmx));
+  EXPECT_FALSE(r.arch.supports(ConfigKind::kLut3));
+}
+
+TEST(ArchIo, RejectsUnknownComponent) {
+  const auto r = parse_architecture(
+      "plb x\ncomponents frobnicator=1\nconfigs FF\ntile_area 1\ncomb_area 1\nend\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown component"), std::string::npos);
+}
+
+TEST(ArchIo, RejectsUnknownConfig) {
+  const auto r = parse_architecture(
+      "plb x\ncomponents dff=1\nconfigs BOGUS\ntile_area 1\ncomb_area 1\nend\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown config"), std::string::npos);
+}
+
+TEST(ArchIo, RejectsInfeasibleConfig) {
+  // XOAMX needs an XOA and a plain MUX; a tile without an XOA cannot host it.
+  const auto r = parse_architecture(
+      "plb x\ncomponents mux=1 dff=1\nconfigs XOAMX FF\ntile_area 10\ncomb_area 5\nend\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cannot fit"), std::string::npos);
+}
+
+TEST(ArchIo, RejectsMissingPieces) {
+  EXPECT_FALSE(parse_architecture("end\n").ok);
+  EXPECT_FALSE(parse_architecture("plb x\nconfigs FF\ncomb_area 1\nend\n").ok);  // no tile_area
+  EXPECT_FALSE(
+      parse_architecture("plb x\ncomponents dff=1\ntile_area 1\ncomb_area 1\nend\n").ok);
+  EXPECT_FALSE(
+      parse_architecture("plb x\ncomponents dff=1\nconfigs FF\ntile_area 1\ncomb_area 1\n").ok);
+}
+
+TEST(ArchIo, ParsedArchitectureRunsThroughResourceModel) {
+  const auto r = parse_architecture(
+      "plb wide\n"
+      "components xoa=2 mux=4 nd3=2 dff=2\n"
+      "configs MX ND3 NDMX XOAMX XOANDMX FF FA\n"
+      "tile_area 200\ncomb_area 130\nend\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  // Twice the granular capacity: two full adders fit simultaneously.
+  EXPECT_TRUE(fits_in_one_plb(r.arch, {ConfigKind::kFullAdder, ConfigKind::kFullAdder}));
+  EXPECT_FALSE(
+      fits_in_one_plb(r.arch, {ConfigKind::kFullAdder, ConfigKind::kFullAdder,
+                               ConfigKind::kFullAdder}));
+}
+
+TEST(ArchIo, LoadMissingFileFails) {
+  const auto r = load_architecture("/tmp/no_such_arch.plb");
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace vpga::core

@@ -1,0 +1,119 @@
+// Tests for bit-parallel simulation and exhaustive equivalence checking.
+
+#include "netlist/bitsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compact/compact.hpp"
+#include "designs/designs.hpp"
+#include "synth/mapper.hpp"
+
+namespace vpga::netlist {
+namespace {
+
+TEST(BitSim, MatchesScalarTruth) {
+  Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto c = nl.add_input("c");
+  nl.add_output(nl.add_xor3(a, b, c), "x");
+  nl.add_output(nl.add_maj(a, b, c), "m");
+  BitSimulator sim(nl);
+  // Lanes: a alternates every bit, b every 2, c every 4.
+  sim.set_input(0, 0xAAAAAAAAAAAAAAAAULL);
+  sim.set_input(1, 0xCCCCCCCCCCCCCCCCULL);
+  sim.set_input(2, 0xF0F0F0F0F0F0F0F0ULL);
+  sim.eval();
+  for (int lane = 0; lane < 8; ++lane) {
+    const int av = lane & 1, bv = (lane >> 1) & 1, cv = (lane >> 2) & 1;
+    EXPECT_EQ((sim.output(0) >> lane) & 1,
+              static_cast<std::uint64_t>((av + bv + cv) & 1));
+    EXPECT_EQ((sim.output(1) >> lane) & 1,
+              static_cast<std::uint64_t>(av + bv + cv >= 2 ? 1 : 0));
+  }
+}
+
+TEST(BitSim, ConstantsPropagate) {
+  Netlist nl;
+  const auto one = nl.add_constant(true);
+  const auto a = nl.add_input("a");
+  nl.add_output(nl.add_and(a, one), "y");
+  BitSimulator sim(nl);
+  sim.set_input(0, 0x123456789ABCDEF0ULL);
+  sim.eval();
+  EXPECT_EQ(sim.output(0), 0x123456789ABCDEF0ULL);
+}
+
+TEST(BitSim, NextStateReadsDffDInputs) {
+  const auto nl = designs::make_counter(4);
+  BitSimulator sim(nl);
+  // State = 0b0101 per lane 0; enable on.
+  sim.set_input(0, ~std::uint64_t{0});
+  for (int d = 0; d < 4; ++d) sim.set_state(static_cast<std::size_t>(d), (5 >> d) & 1 ? ~0ULL : 0);
+  sim.eval();
+  // next = 6 = 0b0110.
+  for (int d = 0; d < 4; ++d)
+    EXPECT_EQ(sim.next_state(static_cast<std::size_t>(d)) & 1,
+              static_cast<std::uint64_t>((6 >> d) & 1));
+}
+
+TEST(Exhaustive, AdderStylesProvablyEquivalent) {
+  // 8+8+1 = 17 inputs: 2^17 patterns, proved exhaustively.
+  const auto ripple = designs::make_ripple_adder(8);
+  const auto prefix = designs::make_prefix_adder(8);
+  const auto csel = designs::make_carry_select_adder(8, 3);
+  EXPECT_TRUE(exhaustive_equivalent(ripple, prefix));
+  EXPECT_TRUE(exhaustive_equivalent(ripple, csel));
+}
+
+TEST(Exhaustive, MappedAdderProvablyEquivalent) {
+  const auto src = designs::make_ripple_adder(8);
+  for (const auto& arch :
+       {core::PlbArchitecture::granular(), core::PlbArchitecture::lut_based()}) {
+    const auto mapped =
+        synth::tech_map(src, synth::cell_target(arch), synth::Objective::kDelay);
+    EXPECT_TRUE(exhaustive_equivalent(src, mapped.netlist)) << arch.name;
+    const auto comp = compact::compact_from(src, mapped.netlist, arch);
+    EXPECT_TRUE(exhaustive_equivalent(src, comp.netlist)) << arch.name;
+  }
+}
+
+TEST(Exhaustive, DetectsSingleMintermDifference) {
+  Netlist n1, n2;
+  {
+    const auto a = n1.add_input("a");
+    const auto b = n1.add_input("b");
+    const auto c = n1.add_input("c");
+    n1.add_output(n1.add_comb(logic::TruthTable(3, 0x96), {a, b, c}), "y");
+  }
+  {
+    const auto a = n2.add_input("a");
+    const auto b = n2.add_input("b");
+    const auto c = n2.add_input("c");
+    n2.add_output(n2.add_comb(logic::TruthTable(3, 0x97), {a, b, c}), "y");  // one row off
+  }
+  EXPECT_FALSE(exhaustive_equivalent(n1, n2));
+}
+
+TEST(Exhaustive, RefusesOversizedOrMismatched) {
+  const auto big = designs::make_ripple_adder(16);   // 33 inputs
+  const auto small = designs::make_ripple_adder(8);  // 17 inputs
+  EXPECT_FALSE(exhaustive_equivalent(big, big, /*max_inputs=*/22));
+  EXPECT_FALSE(exhaustive_equivalent(big, small));
+}
+
+TEST(Exhaustive, TinyInterfaceWorks) {
+  Netlist n1, n2;
+  {
+    const auto a = n1.add_input("a");
+    n1.add_output(n1.add_not(n1.add_not(a)), "y");
+  }
+  {
+    const auto a = n2.add_input("a");
+    n2.add_output(n2.add_buf(a), "y");
+  }
+  EXPECT_TRUE(exhaustive_equivalent(n1, n2));
+}
+
+}  // namespace
+}  // namespace vpga::netlist

@@ -1,0 +1,102 @@
+// Tests for the common substrate: IDs, RNG determinism, table printer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace vpga::common {
+namespace {
+
+struct TagA;
+struct TagB;
+
+TEST(Ids, DefaultIsInvalid) {
+  Id<TagA> id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), Id<TagA>::kInvalid);
+}
+
+TEST(Ids, ValueRoundTrip) {
+  Id<TagA> id(42u);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+  EXPECT_EQ(id.index(), 42u);
+}
+
+TEST(Ids, ComparisonAndHash) {
+  Id<TagA> a(1u), b(2u), c(1u);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(std::hash<Id<TagA>>{}(a), std::hash<Id<TagA>>{}(c));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng r1(123), r2(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r1.next_u64(), r2.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng r1(1), r2(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += r1.next_u64() == r2.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowHitsAllResidues) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(21);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(TextTable, AlignsColumnsAndPrintsSeparator) {
+  TextTable t({"design", "area"});
+  t.add_row({"alu", "10.5"});
+  t.add_row({"network_switch", "123.0"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("design"), std::string::npos);
+  EXPECT_NE(s.find("network_switch"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace vpga::common

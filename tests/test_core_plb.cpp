@@ -1,0 +1,185 @@
+// Tests for the PLB architecture descriptors, the resource/bin-packing model
+// (Section 2.3 packing combinations), and full-adder packing (Section 2.2).
+
+#include "core/plb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/fa_packing.hpp"
+#include "core/match.hpp"
+#include "logic/truth_table.hpp"
+
+namespace vpga::core {
+namespace {
+
+using K = ConfigKind;
+
+TEST(Plb, LutBasedMatchesFigureOne) {
+  const auto a = PlbArchitecture::lut_based();
+  EXPECT_EQ(a.count(PlbComponent::kLut3), 1);
+  EXPECT_EQ(a.count(PlbComponent::kNd3), 2);
+  EXPECT_EQ(a.count(PlbComponent::kDff), 1);
+  EXPECT_EQ(a.count(PlbComponent::kXoa), 0);
+  EXPECT_TRUE(a.supports(K::kLut3));
+  EXPECT_FALSE(a.supports(K::kXoamx));
+}
+
+TEST(Plb, GranularMatchesFigureFour) {
+  const auto a = PlbArchitecture::granular();
+  EXPECT_EQ(a.count(PlbComponent::kXoa), 1);
+  EXPECT_EQ(a.count(PlbComponent::kMux), 2);
+  EXPECT_EQ(a.count(PlbComponent::kNd3), 1);
+  EXPECT_EQ(a.count(PlbComponent::kDff), 1);
+  EXPECT_EQ(a.count(PlbComponent::kLut3), 0);
+  for (auto k : {K::kMx, K::kNd3, K::kNdmx, K::kXoamx, K::kXoandmx, K::kFullAdder})
+    EXPECT_TRUE(a.supports(k)) << to_string(k);
+}
+
+TEST(Plb, PaperAreaRatios) {
+  const auto lut = PlbArchitecture::lut_based();
+  const auto gran = PlbArchitecture::granular();
+  // "the area of the proposed granular PLB being 20% larger than the
+  // LUT-based PLB" and "26.6% more combinational logic area".
+  EXPECT_NEAR(gran.tile_area_um2 / lut.tile_area_um2, 1.20, 0.01);
+  EXPECT_NEAR(gran.comb_area_um2 / lut.comb_area_um2, 1.266, 0.01);
+}
+
+// --- Section 2.3: the four simultaneous packing combinations ---------------
+
+TEST(PlbPacking, ThreeMxPlusNd3Fits) {
+  const auto a = PlbArchitecture::granular();
+  EXPECT_TRUE(fits_in_one_plb(a, {K::kMx, K::kMx, K::kMx, K::kNd3}));
+  EXPECT_FALSE(fits_in_one_plb(a, {K::kMx, K::kMx, K::kMx, K::kMx}));
+  EXPECT_FALSE(fits_in_one_plb(a, {K::kMx, K::kMx, K::kMx, K::kNd3, K::kNd3}));
+}
+
+TEST(PlbPacking, MxPlusXoamxPlusNd3Fits) {
+  const auto a = PlbArchitecture::granular();
+  EXPECT_TRUE(fits_in_one_plb(a, {K::kMx, K::kXoamx, K::kNd3}));
+}
+
+TEST(PlbPacking, NdmxPlusXoamxFits) {
+  const auto a = PlbArchitecture::granular();
+  EXPECT_TRUE(fits_in_one_plb(a, {K::kNdmx, K::kXoamx}));
+}
+
+TEST(PlbPacking, TwoNdmxFitOneViaXoa) {
+  // "two NDMX functions can be packed into a single PLB. In this
+  // configuration, one of the NDMX functions must be packed as an XOAMX."
+  const auto a = PlbArchitecture::granular();
+  EXPECT_TRUE(fits_in_one_plb(a, {K::kNdmx, K::kNdmx}));
+  EXPECT_FALSE(fits_in_one_plb(a, {K::kNdmx, K::kNdmx, K::kNdmx}));
+}
+
+TEST(PlbPacking, TwoXoamxDoNotFit) {
+  // Only one XOA exists, and a plain MUX cannot serve as the XOAMX driver.
+  const auto a = PlbArchitecture::granular();
+  EXPECT_FALSE(fits_in_one_plb(a, {K::kXoamx, K::kXoamx}));
+}
+
+TEST(PlbPacking, XoandmxConsumesBothGates) {
+  const auto a = PlbArchitecture::granular();
+  EXPECT_TRUE(fits_in_one_plb(a, {K::kXoandmx, K::kMx}));
+  EXPECT_FALSE(fits_in_one_plb(a, {K::kXoandmx, K::kNd3}));
+  EXPECT_FALSE(fits_in_one_plb(a, {K::kXoandmx, K::kXoamx}));
+}
+
+TEST(PlbPacking, FfPacksAlongsideLogic) {
+  const auto a = PlbArchitecture::granular();
+  EXPECT_TRUE(fits_in_one_plb(a, {K::kFullAdder, K::kFf}));
+  EXPECT_FALSE(fits_in_one_plb(a, {K::kFf, K::kFf}));
+  EXPECT_TRUE(fits_in_one_plb(PlbArchitecture::granular_with_ffs(4),
+                              {K::kFf, K::kFf, K::kFf, K::kFf}));
+}
+
+TEST(PlbPacking, LutArchitectureCombinations) {
+  const auto a = PlbArchitecture::lut_based();
+  EXPECT_TRUE(fits_in_one_plb(a, {K::kLut3, K::kNd3, K::kNd3, K::kFf}));
+  EXPECT_FALSE(fits_in_one_plb(a, {K::kLut3, K::kLut3}));
+  EXPECT_FALSE(fits_in_one_plb(a, {K::kMx}));  // unsupported config
+}
+
+TEST(PlbPacking, MaximalPackingsIncludePaperCombos) {
+  const auto a = PlbArchitecture::granular();
+  const auto maximal = maximal_packings(
+      a, {K::kMx, K::kNd3, K::kNdmx, K::kXoamx, K::kXoandmx});
+  auto contains = [&](std::vector<K> combo) {
+    std::sort(combo.begin(), combo.end());
+    return std::any_of(maximal.begin(), maximal.end(), [&](std::vector<K> m) {
+      std::sort(m.begin(), m.end());
+      return m == combo;
+    });
+  };
+  EXPECT_TRUE(contains({K::kMx, K::kMx, K::kMx, K::kNd3}));
+  EXPECT_TRUE(contains({K::kMx, K::kXoamx, K::kNd3}));
+  EXPECT_TRUE(contains({K::kNdmx, K::kXoamx}));
+}
+
+// --- Section 2.2: full adder ------------------------------------------------
+
+TEST(FullAdder, GranularPacksInOnePlb) {
+  EXPECT_TRUE(packs_full_adder(PlbArchitecture::granular()));
+  const auto plan = plan_full_adder(PlbArchitecture::granular());
+  EXPECT_EQ(plan.plbs, 1);
+  EXPECT_EQ(plan.configs, std::vector<K>{K::kFullAdder});
+  EXPECT_GT(plan.carry_delay_ps, 0.0);
+  EXPECT_GT(plan.sum_delay_ps, plan.carry_delay_ps);
+}
+
+TEST(FullAdder, LutBasedNeedsTwoPlbs) {
+  EXPECT_FALSE(packs_full_adder(PlbArchitecture::lut_based()));
+  const auto plan = plan_full_adder(PlbArchitecture::lut_based());
+  EXPECT_EQ(plan.plbs, 2);
+  EXPECT_EQ(plan.configs, (std::vector<K>{K::kLut3, K::kLut3}));
+}
+
+TEST(FullAdder, RippleAdderScalesLinearly) {
+  const auto g = plan_ripple_adder(PlbArchitecture::granular(), 32);
+  const auto l = plan_ripple_adder(PlbArchitecture::lut_based(), 32);
+  EXPECT_EQ(g.plbs, 32);
+  EXPECT_EQ(l.plbs, 64);
+  EXPECT_LT(g.critical_path_ps, l.critical_path_ps);
+}
+
+TEST(FullAdder, GranularCarryChainIsMuchFaster) {
+  // Per carry step the granular PLB spends one mux stage; the LUT-based PLB
+  // spends a full 3-LUT evaluation.
+  const auto g = plan_full_adder(PlbArchitecture::granular());
+  const auto l = plan_full_adder(PlbArchitecture::lut_based());
+  EXPECT_GT(l.carry_delay_ps / g.carry_delay_ps, 2.0);
+}
+
+// --- Matching ----------------------------------------------------------------
+
+TEST(Match, GranularMapsSimpleFunctionsOffTheLut) {
+  const auto gran = PlbArchitecture::granular();
+  const auto lut = PlbArchitecture::lut_based();
+  const auto nand3 = static_cast<std::uint8_t>(logic::tt3::nand3().bits());
+  EXPECT_EQ(min_area_config(gran, nand3), K::kNd3);
+  EXPECT_EQ(min_area_config(lut, nand3), K::kNd3);
+  const auto xor3 = static_cast<std::uint8_t>(logic::tt3::xor3().bits());
+  EXPECT_EQ(min_area_config(gran, xor3), K::kXoamx);
+  EXPECT_EQ(min_area_config(lut, xor3), K::kLut3);
+  // maj3 = MUX(a xor b; a, c) — the XOA-driven mux pair handles the carry.
+  const auto maj3 = static_cast<std::uint8_t>(logic::tt3::maj3().bits());
+  EXPECT_EQ(min_area_config(gran, maj3), K::kXoamx);
+  EXPECT_EQ(min_area_config(lut, maj3), K::kLut3);
+}
+
+TEST(Match, EveryFunctionHasAGranularConfig) {
+  // XOANDMX covers all 256, so matching never fails on the granular PLB.
+  const auto gran = PlbArchitecture::granular();
+  for (int f = 0; f < 256; ++f)
+    EXPECT_TRUE(min_area_config(gran, static_cast<std::uint8_t>(f)).has_value()) << f;
+}
+
+TEST(Match, MinDelayPrefersSingleStage) {
+  const auto gran = PlbArchitecture::granular();
+  const auto mux_like = static_cast<std::uint8_t>(logic::tt3::mux().bits());
+  EXPECT_EQ(min_delay_config(gran, mux_like), K::kMx);
+}
+
+}  // namespace
+}  // namespace vpga::core

@@ -1,0 +1,164 @@
+// Direct tests for the priority-cut enumeration (k = 3).
+
+#include "synth/cuts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "designs/designs.hpp"
+
+namespace vpga::synth {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+TEST(Cuts, TwoInputAndHasFaninCut) {
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  const Lit y = g.add_and(a, b);
+  g.add_output(y);
+  CutDatabase db(g);
+  const auto& cuts = db.cuts(aig::node_of(y));
+  ASSERT_GE(cuts.size(), 2u);  // fanin cut + trivial cut
+  const Cut& c = cuts.front();
+  EXPECT_EQ(c.size, 2);
+  EXPECT_EQ(c.leaves[0], aig::node_of(a));
+  EXPECT_EQ(c.leaves[1], aig::node_of(b));
+  EXPECT_EQ(c.tt & 0xF, 0x8);  // and(a,b) in the low rows
+}
+
+TEST(Cuts, ThreeInputConeGetsFullCut) {
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  const Lit c = g.add_input();
+  const Lit y = g.add_and(g.add_and(a, b), c);
+  g.add_output(y);
+  CutDatabase db(g);
+  bool found = false;
+  for (const Cut& cut : db.cuts(aig::node_of(y))) {
+    if (cut.size == 3) {
+      EXPECT_EQ(cut.tt, 0x80);  // and3
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cuts, TruthTablesRespectComplementedEdges) {
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  const Lit y = g.add_and(aig::negate(a), b);  // ~a & b
+  g.add_output(y);
+  CutDatabase db(g);
+  const Cut& c = db.cuts(aig::node_of(y)).front();
+  ASSERT_EQ(c.size, 2);
+  // Leaves sorted by node index: a first. rows ab: f = ~a & b -> row 2 only.
+  EXPECT_EQ(c.tt & 0xF, 0x4);
+}
+
+TEST(Cuts, XorConeFunctionCorrect) {
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  const Lit y = g.add_xor(a, b);  // complemented literal over an XNOR node
+  g.add_output(y);
+  CutDatabase db(g);
+  // Cut functions describe the NODE (positive polarity): the xor literal's
+  // node computes XNOR when the literal is complemented.
+  const std::uint8_t expect = aig::is_complemented(y) ? 0x9 : 0x6;
+  bool found = false;
+  for (const Cut& c : db.cuts(aig::node_of(y)))
+    if (c.size == 2 && (c.tt & 0xF) == expect) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Cuts, LeavesSortedAndUnique) {
+  const auto d = designs::make_alu(8);
+  const auto m = aig::from_netlist(d.netlist);
+  CutDatabase db(m.aig);
+  for (std::uint32_t n = 1; n < m.aig.num_nodes(); ++n) {
+    for (const Cut& c : db.cuts(n)) {
+      for (int i = 1; i < c.size; ++i)
+        EXPECT_LT(c.leaves[static_cast<std::size_t>(i - 1)],
+                  c.leaves[static_cast<std::size_t>(i)]);
+      EXPECT_GE(c.size, 1);
+      EXPECT_LE(c.size, 3);
+    }
+  }
+}
+
+TEST(Cuts, CutCountBounded) {
+  const auto d = designs::make_alu(8);
+  const auto m = aig::from_netlist(d.netlist);
+  const int limit = 6;
+  CutDatabase db(m.aig, limit);
+  for (std::uint32_t n = 1; n < m.aig.num_nodes(); ++n)
+    EXPECT_LE(db.cuts(n).size(), static_cast<std::size_t>(limit) + 1);  // + trivial
+}
+
+TEST(Cuts, AllInputCutsMatchExhaustiveConeEvaluation) {
+  // Property: when every leaf of a cut is a primary input, the cut's truth
+  // table must equal the AIG evaluated over all leaf assignments (other
+  // inputs held at 0 cannot influence the cone if the cut is correct only
+  // when the node's cone support is inside the leaves — which holds exactly
+  // for all-input cuts of nodes whose cone reaches only those inputs, so we
+  // assert agreement whenever the evaluation is insensitive to the rest).
+  const auto nl = designs::make_ripple_adder(4);
+  const auto m = aig::from_netlist(nl);
+  CutDatabase db(m.aig);
+  int verified = 0;
+  for (std::uint32_t n = 1; n < m.aig.num_nodes(); ++n) {
+    if (!m.aig.node(n).is_and) continue;
+    // Reference: n's value over all full input assignments.
+    const std::size_t ni = m.aig.num_inputs();
+    ASSERT_LE(ni, 16u);
+    for (const Cut& c : db.cuts(n)) {
+      if (c.size == 1 && c.leaves[0] == n) continue;
+      bool all_inputs = true;
+      for (int i = 0; i < c.size; ++i)
+        all_inputs = all_inputs && m.aig.is_input(c.leaves[static_cast<std::size_t>(i)]);
+      if (!all_inputs) continue;
+      // Leaf index -> input position.
+      std::array<std::size_t, 3> pos{};
+      for (int i = 0; i < c.size; ++i)
+        for (std::size_t k = 0; k < ni; ++k)
+          if (m.aig.inputs()[k] == c.leaves[static_cast<std::size_t>(i)])
+            pos[static_cast<std::size_t>(i)] = k;
+      // Check f(n) == tt(leaf bits) on every full assignment: this is the
+      // strongest statement — the cut tt explains the node completely.
+      bool cut_explains = true;
+      for (unsigned full = 0; full < (1u << ni) && cut_explains; ++full) {
+        std::vector<bool> in(ni);
+        for (std::size_t k = 0; k < ni; ++k) in[k] = (full >> k) & 1;
+        // Evaluate node n by evaluating the whole graph.
+        std::vector<bool> inputs = in;
+        const auto outs = m.aig.eval(inputs);
+        (void)outs;
+        unsigned row = 0;
+        for (int i = 0; i < c.size; ++i)
+          if (in[pos[static_cast<std::size_t>(i)]]) row |= 1u << i;
+        // Recompute node value directly.
+        std::vector<char> val(m.aig.num_nodes(), 0);
+        for (std::size_t k = 0; k < ni; ++k) val[m.aig.inputs()[k]] = in[k] ? 1 : 0;
+        for (std::uint32_t v = 1; v <= n; ++v) {
+          if (!m.aig.node(v).is_and) continue;
+          const auto f0 = m.aig.node(v).fanin0, f1 = m.aig.node(v).fanin1;
+          val[v] = static_cast<char>(
+              (val[aig::node_of(f0)] ^ (aig::is_complemented(f0) ? 1 : 0)) &
+              (val[aig::node_of(f1)] ^ (aig::is_complemented(f1) ? 1 : 0)));
+        }
+        cut_explains = val[n] == (((c.tt >> row) & 1) ? 1 : 0);
+      }
+      EXPECT_TRUE(cut_explains) << "node " << n;
+      ++verified;
+      break;  // one all-input cut per node keeps the test fast
+    }
+  }
+  EXPECT_GT(verified, 5);
+}
+
+}  // namespace
+}  // namespace vpga::synth

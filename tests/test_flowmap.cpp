@@ -1,0 +1,121 @@
+// Tests for the FlowMap-style max-flow/min-cut labeling (k = 3).
+
+#include "compact/flowmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "designs/designs.hpp"
+
+namespace vpga::compact {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+TEST(FlowMap, InputsLabelZero) {
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  g.add_output(g.add_and(a, b));
+  const auto l = flowmap_labels(g);
+  EXPECT_EQ(l[aig::node_of(a)], 0);
+  EXPECT_EQ(l[aig::node_of(b)], 0);
+  EXPECT_EQ(l[aig::node_of(g.outputs()[0])], 1);
+}
+
+TEST(FlowMap, ThreeInputConeIsDepthOne) {
+  // and3 = and(and(a,b),c): AIG depth 2, but 3-feasible depth 1.
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  const Lit c = g.add_input();
+  g.add_output(g.add_and(g.add_and(a, b), c));
+  EXPECT_EQ(flowmap_depth(g), 1);
+}
+
+TEST(FlowMap, XorOfTwoIsDepthOne) {
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  g.add_output(g.add_xor(a, b));  // 3 AND nodes, still one 2-input cut
+  EXPECT_EQ(flowmap_depth(g), 1);
+}
+
+TEST(FlowMap, XorThreeIsDepthOne) {
+  // xor3 has 3 inputs: one 3-feasible cut covers the whole cone.
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  const Lit c = g.add_input();
+  g.add_output(g.add_xor(g.add_xor(a, b), c));
+  EXPECT_EQ(flowmap_depth(g), 1);
+}
+
+TEST(FlowMap, FourInputAndNeedsTwoLevels) {
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  const Lit c = g.add_input();
+  const Lit d = g.add_input();
+  g.add_output(g.add_and(g.add_and(a, b), g.add_and(c, d)));
+  EXPECT_EQ(flowmap_depth(g), 2);
+}
+
+TEST(FlowMap, LabelsAreMonotoneAlongEdges) {
+  const auto d = designs::make_alu(8);
+  const auto m = aig::from_netlist(d.netlist);
+  const auto l = flowmap_labels(m.aig);
+  for (std::uint32_t n = 1; n < m.aig.num_nodes(); ++n) {
+    if (!m.aig.node(n).is_and) continue;
+    EXPECT_GE(l[n], l[aig::node_of(m.aig.node(n).fanin0)]);
+    EXPECT_GE(l[n], l[aig::node_of(m.aig.node(n).fanin1)]);
+    const int p = std::max(l[aig::node_of(m.aig.node(n).fanin0)],
+                           l[aig::node_of(m.aig.node(n).fanin1)]);
+    EXPECT_TRUE(l[n] == p || l[n] == p + 1) << n;
+    EXPECT_GE(l[n], 1);
+  }
+}
+
+TEST(FlowMap, OptimalDepthNeverExceedsAigDepth) {
+  for (int bits : {4, 8}) {
+    const auto nl = designs::make_ripple_adder(bits);
+    const auto m = aig::from_netlist(nl);
+    EXPECT_LE(flowmap_depth(m.aig), m.aig.depth());
+    EXPECT_GE(flowmap_depth(m.aig), (m.aig.depth() + 2) / 3);  // k=3 bound
+  }
+}
+
+TEST(FlowMap, CutsAreSmallAndLowerLabel) {
+  const auto nl = designs::make_ripple_adder(6);
+  const auto m = aig::from_netlist(nl);
+  const auto l = flowmap_labels(m.aig);
+  for (std::uint32_t n = 1; n < m.aig.num_nodes(); ++n) {
+    if (!m.aig.node(n).is_and) continue;
+    const auto cut = flowmap_cut(m.aig, n, l);
+    EXPECT_GE(cut.size(), 1u);
+    EXPECT_LE(cut.size(), 3u);
+    for (auto leaf : cut) EXPECT_LE(l[leaf], l[n] - 1) << "node " << n;
+  }
+}
+
+TEST(FlowMap, MuxTreeDepth) {
+  // An 8:1 mux tree (7 muxes): 3-feasible depth must be 3 (each mux is one
+  // 3-input node) or better.
+  Aig g;
+  std::vector<Lit> data;
+  for (int i = 0; i < 8; ++i) data.push_back(g.add_input());
+  std::vector<Lit> sel = {g.add_input(), g.add_input(), g.add_input()};
+  std::vector<Lit> level = data;
+  for (int s = 0; s < 3; ++s) {
+    std::vector<Lit> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(g.add_mux(sel[static_cast<std::size_t>(s)], level[i], level[i + 1]));
+    level = next;
+  }
+  g.add_output(level[0]);
+  EXPECT_LE(flowmap_depth(g), 3);
+  EXPECT_GE(flowmap_depth(g), 2);
+}
+
+}  // namespace
+}  // namespace vpga::compact

@@ -1,0 +1,81 @@
+// Integration golden tests: end-to-end invariants that pin the reproduced
+// paper results (exact where the result is combinatorial, banded where it
+// depends on calibrated physics).
+
+#include <gtest/gtest.h>
+
+#include "core/arch_io.hpp"
+#include "core/fa_packing.hpp"
+#include "flow/flow.hpp"
+#include "logic/npn.hpp"
+#include "logic/s3.hpp"
+
+namespace vpga {
+namespace {
+
+TEST(Golden, PaperCombinatorialResults) {
+  // These five numbers ARE the paper's Section 2; they must never drift.
+  const auto s3 = logic::analyze_s3();
+  EXPECT_EQ(logic::count(s3.feasible), 196);
+  EXPECT_EQ(s3.category_count[static_cast<int>(logic::S3Category::kCofactorXor)], 28);
+  EXPECT_EQ(s3.category_count[static_cast<int>(logic::S3Category::kCofactorXnor)], 28);
+  EXPECT_EQ(logic::count(logic::modified_s3_set3()), 256);
+  EXPECT_EQ(core::plan_full_adder(core::PlbArchitecture::granular()).plbs, 1);
+  EXPECT_EQ(core::plan_full_adder(core::PlbArchitecture::lut_based()).plbs, 2);
+  EXPECT_EQ(logic::npn_classes().size(), 14u);
+}
+
+TEST(Golden, ArchitectureCalibration) {
+  const auto g = core::PlbArchitecture::granular();
+  const auto l = core::PlbArchitecture::lut_based();
+  EXPECT_NEAR(g.tile_area_um2 / l.tile_area_um2, 1.20, 0.01);   // paper C11
+  EXPECT_NEAR(g.comb_area_um2 / l.comb_area_um2, 1.266, 0.01);  // paper §3.2
+}
+
+TEST(Golden, DatapathDirectionHolds) {
+  // The headline Table-1/2 directions on a scaled ALU, as a regression gate:
+  // granular flow b must be smaller and faster than LUT flow b.
+  const auto d = designs::make_alu(16);
+  const auto g = flow::run_flow(d, core::PlbArchitecture::granular(), 'b');
+  const auto l = flow::run_flow(d, core::PlbArchitecture::lut_based(), 'b');
+  EXPECT_LT(g.die_area_um2, l.die_area_um2);
+  EXPECT_LT(g.critical_delay_ps, l.critical_delay_ps);
+  // And both flows pay for regularity relative to flow a.
+  const auto ga = flow::run_flow(d, core::PlbArchitecture::granular(), 'a');
+  EXPECT_GT(g.die_area_um2, ga.die_area_um2);
+}
+
+TEST(Golden, SequentialDirectionHolds) {
+  const auto d = designs::make_firewire(8, 8);
+  const auto g = flow::run_flow(d, core::PlbArchitecture::granular(), 'b');
+  const auto l = flow::run_flow(d, core::PlbArchitecture::lut_based(), 'b');
+  // The granular PLB loses its advantage on sequential-dominated logic.
+  EXPECT_GT(g.die_area_um2, 0.95 * l.die_area_um2);
+}
+
+TEST(Golden, RippleAdderOnePlbPerBit) {
+  // Section 2.2 end to end, exact: a 24-bit ripple adder legalizes into
+  // exactly 24 granular PLBs (one FA macro each).
+  designs::BenchmarkDesign d{designs::make_ripple_adder(24), 8000.0, true};
+  const auto r = flow::run_flow(d, core::PlbArchitecture::granular(), 'b');
+  EXPECT_EQ(r.plbs, 24);
+  EXPECT_EQ(r.compaction.config_histogram[static_cast<int>(core::ConfigKind::kFullAdder)],
+            24);
+}
+
+TEST(Golden, StockArchitecturesRoundTripThroughFilesIntoFlow) {
+  // Parsing a serialized architecture and running the flow must give exactly
+  // the built-in architecture's result (determinism + faithful IO).
+  const auto d = designs::make_alu(8);
+  const auto direct = flow::run_flow(d, core::PlbArchitecture::granular(), 'b');
+  const auto parsed =
+      core::parse_architecture(core::architecture_to_string(core::PlbArchitecture::granular()));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto via_file = flow::run_flow(d, parsed.arch, 'b');
+  EXPECT_DOUBLE_EQ(direct.die_area_um2, via_file.die_area_um2);
+  EXPECT_DOUBLE_EQ(direct.avg_slack_top10_ps, via_file.avg_slack_top10_ps);
+  EXPECT_EQ(direct.plbs, via_file.plbs);
+}
+
+}  // namespace
+}  // namespace vpga

@@ -1,0 +1,112 @@
+// Tests for the characterized cell library (the CellRater substitute).
+
+#include "library/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vpga::library {
+namespace {
+
+TEST(Characterize, ArcFollowsLogicalEffort) {
+  EffortModel m;
+  m.tau_ps = 10.0;
+  m.unit_cap_ff = 2.0;
+  CellElectrical e;
+  e.logical_effort = 2.0;
+  e.parasitic = 3.0;
+  e.cin_units = 1.0;
+  const auto arc = characterize_arc(m, e);
+  EXPECT_DOUBLE_EQ(arc.intrinsic_ps, 30.0);
+  EXPECT_DOUBLE_EQ(arc.slope_ps_per_ff, 10.0);  // tau*g/Cin = 10*2/2
+  EXPECT_DOUBLE_EQ(arc.delay(4.0), 70.0);
+}
+
+TEST(Characterize, LibraryHasAllKinds) {
+  const auto& lib = CellLibrary::standard();
+  EXPECT_EQ(lib.all().size(), static_cast<std::size_t>(kNumCellKinds));
+  for (int i = 0; i < kNumCellKinds; ++i) {
+    const auto& s = lib.spec(static_cast<CellKind>(i));
+    EXPECT_EQ(s.kind, static_cast<CellKind>(i));
+    EXPECT_GT(s.area_um2, 0.0);
+    EXPECT_GT(s.input_cap_ff, 0.0);
+    EXPECT_GT(s.arc.intrinsic_ps, 0.0);
+  }
+}
+
+TEST(Characterize, LutIsSubstantiallySlowerThanSimpleCells) {
+  // The paper's motivation: "the VPGA LUT is substantially inferior to an
+  // equivalent standard cell in terms of delay, power and area, when
+  // configured as a simple logic function."
+  const auto& lib = CellLibrary::standard();
+  const double load = 2.0;  // a couple of fanout pins
+  const double lut = lib.spec(CellKind::kLut3).arc.delay(load);
+  const double nd2 = lib.spec(CellKind::kNd2wi).arc.delay(load);
+  const double nd3 = lib.spec(CellKind::kNd3wi).arc.delay(load);
+  const double mux = lib.spec(CellKind::kMux2).arc.delay(load);
+  EXPECT_GT(lut / nd2, 2.0);
+  EXPECT_GT(lut / nd3, 1.8);
+  EXPECT_GT(lut / mux, 1.8);
+}
+
+TEST(Characterize, LutIsLargestCombinationalCell) {
+  const auto& lib = CellLibrary::standard();
+  const double lut = lib.spec(CellKind::kLut3).area_um2;
+  for (auto k : {CellKind::kInv, CellKind::kBuf, CellKind::kNd2wi, CellKind::kNd3wi,
+                 CellKind::kMux2, CellKind::kXoa})
+    EXPECT_GT(lut, lib.spec(k).area_um2);
+}
+
+TEST(Characterize, XoaIsFasterDriverThanPlainMux) {
+  // XOA is "sized differently from the other two MUXes to minimize logic
+  // delay": flatter slope at the cost of input capacitance and area.
+  const auto& lib = CellLibrary::standard();
+  const auto& xoa = lib.spec(CellKind::kXoa);
+  const auto& mux = lib.spec(CellKind::kMux2);
+  EXPECT_LT(xoa.arc.slope_ps_per_ff, mux.arc.slope_ps_per_ff);
+  EXPECT_GT(xoa.input_cap_ff, mux.input_cap_ff);
+  EXPECT_GT(xoa.area_um2, mux.area_um2);
+  EXPECT_LT(xoa.arc.delay(3.0), mux.arc.delay(3.0));
+}
+
+TEST(Characterize, CoverageSetsAttached) {
+  const auto& lib = CellLibrary::standard();
+  EXPECT_EQ(lib.spec(CellKind::kLut3).coverage.count(), 256u);
+  EXPECT_EQ(lib.spec(CellKind::kNd2wi).coverage, logic::nd2wi_set3());
+  EXPECT_EQ(lib.spec(CellKind::kMux2).coverage, logic::mux2_set3());
+  EXPECT_TRUE(lib.spec(CellKind::kDff).coverage.none());
+  // INV covers exactly literals and constants: 3*2 + 2 = 8 functions.
+  EXPECT_EQ(lib.spec(CellKind::kInv).coverage.count(), 8u);
+}
+
+TEST(Characterize, SequentialFlagsAndSetup) {
+  const auto& lib = CellLibrary::standard();
+  EXPECT_TRUE(lib.spec(CellKind::kDff).is_sequential());
+  EXPECT_GT(lib.spec(CellKind::kDff).setup_ps, 0.0);
+  EXPECT_FALSE(lib.spec(CellKind::kMux2).is_sequential());
+}
+
+TEST(Characterize, Nand2EquivalentsNormalized) {
+  const auto& lib = CellLibrary::standard();
+  EXPECT_DOUBLE_EQ(lib.nand2_equivalents(CellKind::kNd2wi), 1.0);
+  EXPECT_GT(lib.nand2_equivalents(CellKind::kLut3), 3.0);
+}
+
+TEST(Characterize, NamesAreStable) {
+  EXPECT_STREQ(to_string(CellKind::kNd3wi), "ND3WI");
+  EXPECT_STREQ(to_string(CellKind::kXoa), "XOA");
+  EXPECT_STREQ(to_string(CellKind::kLut3), "LUT3");
+}
+
+TEST(Characterize, CustomModelScalesDelays) {
+  EffortModel fast;
+  fast.tau_ps = 6.0;  // a faster process: all delays halve
+  const auto lib = characterize_library(fast);
+  const auto& ref = CellLibrary::standard();
+  for (int i = 0; i < kNumCellKinds; ++i) {
+    const auto k = static_cast<CellKind>(i);
+    EXPECT_NEAR(lib.spec(k).arc.intrinsic_ps, 0.5 * ref.spec(k).arc.intrinsic_ps, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vpga::library

@@ -1,0 +1,131 @@
+// Tests for the ASIC-style placer.
+
+#include "place/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compact/compact.hpp"
+#include "core/plb.hpp"
+#include "designs/designs.hpp"
+#include "synth/mapper.hpp"
+
+namespace vpga::place {
+namespace {
+
+netlist::Netlist compacted_adder(int bits) {
+  const auto src = designs::make_ripple_adder(bits);
+  const auto mapped = synth::tech_map(src, synth::cell_target(core::PlbArchitecture::granular()),
+                                      synth::Objective::kDelay);
+  return compact::compact(mapped.netlist, core::PlbArchitecture::granular()).netlist;
+}
+
+TEST(Place, AllNodesInsideDie) {
+  const auto nl = compacted_adder(16);
+  const auto p = place(nl);
+  EXPECT_GT(p.width_um, 0.0);
+  for (netlist::NodeId id : nl.all_nodes()) {
+    const auto& pt = p.pos[id.index()];
+    EXPECT_GE(pt.x, -1e-9);
+    EXPECT_LE(pt.x, p.width_um + 1e-9);
+    EXPECT_GE(pt.y, -1e-9);
+    EXPECT_LE(pt.y, p.height_um + 1e-9);
+  }
+}
+
+TEST(Place, DeterministicForSameSeed) {
+  const auto nl = compacted_adder(12);
+  const auto p1 = place(nl);
+  const auto p2 = place(nl);
+  for (std::size_t i = 0; i < p1.pos.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1.pos[i].x, p2.pos[i].x);
+    EXPECT_DOUBLE_EQ(p1.pos[i].y, p2.pos[i].y);
+  }
+}
+
+TEST(Place, SeedChangesResult) {
+  const auto nl = compacted_adder(12);
+  PlacerOptions a, b;
+  a.seed = 1;
+  b.seed = 99;
+  const auto p1 = place(nl, a);
+  const auto p2 = place(nl, b);
+  int moved = 0;
+  for (std::size_t i = 0; i < p1.pos.size(); ++i)
+    if (p1.pos[i].x != p2.pos[i].x || p1.pos[i].y != p2.pos[i].y) ++moved;
+  EXPECT_GT(moved, 0);
+}
+
+TEST(Place, RefinementImprovesOverNaive) {
+  // A netlist whose creation order carries no locality (random 2-input
+  // network): the initial serpentine is poor and refinement must win big.
+  netlist::Netlist nl("scrambled");
+  common::Rng rng(17);
+  std::vector<netlist::NodeId> pool;
+  for (int i = 0; i < 24; ++i) pool.push_back(nl.add_input("i" + std::to_string(i)));
+  for (int i = 0; i < 400; ++i) {
+    const auto a = pool[rng.next_below(pool.size())];
+    const auto b = pool[rng.next_below(pool.size())];
+    pool.push_back(nl.add_xor(a, b));
+  }
+  for (int i = 0; i < 16; ++i)
+    nl.add_output(pool[pool.size() - 1 - static_cast<std::size_t>(i)],
+                  "o" + std::to_string(i));
+  // Give nodes mapped identities so the placer can size the die.
+  for (netlist::NodeId id : nl.all_nodes())
+    if (nl.node(id).type == netlist::NodeType::kComb)
+      nl.node(id).cell = library::CellKind::kMux2;
+  PlacerOptions naive;
+  naive.median_sweeps = 0;
+  naive.sa_moves_per_node = 0;
+  const auto p0 = place(nl, naive);
+  const auto p1 = place(nl);
+  EXPECT_LT(total_hpwl(nl, p1), total_hpwl(nl, p0));
+}
+
+TEST(Place, NoTwoCellsShareASlot) {
+  const auto nl = compacted_adder(16);
+  const auto p = place(nl);
+  std::vector<std::pair<double, double>> seen;
+  for (netlist::NodeId id : nl.all_nodes()) {
+    const auto& n = nl.node(id);
+    if (n.type != netlist::NodeType::kComb && n.type != netlist::NodeType::kDff) continue;
+    for (const auto& s : seen) {
+      EXPECT_FALSE(s.first == p.pos[id.index()].x && s.second == p.pos[id.index()].y)
+          << "overlap at " << s.first << "," << s.second;
+    }
+    seen.emplace_back(p.pos[id.index()].x, p.pos[id.index()].y);
+  }
+}
+
+TEST(Place, DieAreaMatchesUtilization) {
+  const auto nl = compacted_adder(16);
+  const double a85 = asic_die_area(nl, 0.85);
+  const double a50 = asic_die_area(nl, 0.50);
+  EXPECT_NEAR(a50 / a85, 0.85 / 0.50, 1e-9);
+  EXPECT_GT(a85, compact::gate_area(nl) - 1e-9);
+}
+
+TEST(Place, HpwlIsPositiveAndFinite) {
+  const auto nl = compacted_adder(8);
+  const auto p = place(nl);
+  const double h = total_hpwl(nl, p);
+  EXPECT_GT(h, 0.0);
+  EXPECT_LT(h, 1e9);
+}
+
+TEST(Place, CriticalityWeightingShiftsResult) {
+  const auto nl = compacted_adder(16);
+  PlacerOptions base;
+  const auto p1 = place(nl, base);
+  PlacerOptions crit = base;
+  crit.criticality.assign(nl.num_nodes(), 0.0);
+  for (std::size_t i = 0; i < nl.num_nodes(); i += 3) crit.criticality[i] = 1.0;
+  const auto p2 = place(nl, crit);
+  int moved = 0;
+  for (std::size_t i = 0; i < p1.pos.size(); ++i)
+    if (p1.pos[i].x != p2.pos[i].x || p1.pos[i].y != p2.pos[i].y) ++moved;
+  EXPECT_GT(moved, 0);
+}
+
+}  // namespace
+}  // namespace vpga::place

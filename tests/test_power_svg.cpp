@@ -1,0 +1,114 @@
+// Tests for the power estimator and the SVG layout renderer.
+
+#include <gtest/gtest.h>
+
+#include "compact/compact.hpp"
+#include "designs/designs.hpp"
+#include "pack/layout_svg.hpp"
+#include "place/placement.hpp"
+#include "synth/mapper.hpp"
+#include "timing/power.hpp"
+
+namespace vpga {
+namespace {
+
+struct Prepared {
+  netlist::Netlist nl;
+  place::Placement placed;
+};
+
+Prepared prepare(const netlist::Netlist& src,
+                 const core::PlbArchitecture& arch = core::PlbArchitecture::granular()) {
+  const auto mapped =
+      synth::tech_map(src, synth::cell_target(arch), synth::Objective::kDelay);
+  auto comp = compact::compact_from(src, mapped.netlist, arch);
+  Prepared p{std::move(comp.netlist), {}};
+  p.placed = place::place(p.nl);
+  return p;
+}
+
+TEST(Power, PositiveAndDecomposed) {
+  const auto p = prepare(designs::make_alu(8).netlist);
+  timing::PowerOptions o;
+  o.clock_period_ps = 4500;
+  const auto r = timing::estimate_power(p.nl, p.placed, o);
+  EXPECT_GT(r.dynamic_mw, 0.0);
+  EXPECT_GT(r.clock_mw, 0.0);
+  EXPECT_NEAR(r.total_mw, r.dynamic_mw + r.clock_mw, 1e-12);
+  EXPECT_GT(r.avg_toggle_rate, 0.0);
+  EXPECT_LT(r.avg_toggle_rate, 1.0);
+}
+
+TEST(Power, ScalesWithFrequency) {
+  const auto p = prepare(designs::make_ripple_adder(8));
+  timing::PowerOptions slow, fast;
+  slow.clock_period_ps = 10000;
+  fast.clock_period_ps = 5000;
+  const auto rs = timing::estimate_power(p.nl, p.placed, slow);
+  const auto rf = timing::estimate_power(p.nl, p.placed, fast);
+  EXPECT_NEAR(rf.total_mw / rs.total_mw, 2.0, 1e-6);
+}
+
+TEST(Power, DeterministicForSeed) {
+  const auto p = prepare(designs::make_counter(8));
+  timing::PowerOptions o;
+  const auto r1 = timing::estimate_power(p.nl, p.placed, o);
+  const auto r2 = timing::estimate_power(p.nl, p.placed, o);
+  EXPECT_DOUBLE_EQ(r1.total_mw, r2.total_mw);
+}
+
+TEST(Power, IdleLogicTogglesLess) {
+  // A counter with enable low toggles almost nowhere; compare toggle rate
+  // against free-running inputs by fixing the PI probability through seeds is
+  // impractical, so compare against a pure combinational xor network instead.
+  const auto counter = prepare(designs::make_counter(8));
+  timing::PowerOptions o;
+  const auto rc = timing::estimate_power(counter.nl, counter.placed, o);
+  // A free-running LFSR toggles its state bits nearly every other cycle.
+  const auto lfsr = prepare(designs::make_lfsr(8, 0b10111000));
+  const auto rl = timing::estimate_power(lfsr.nl, lfsr.placed, o);
+  EXPECT_GT(rl.avg_toggle_rate, 0.1);
+  EXPECT_GT(rc.total_mw, 0.0);
+}
+
+TEST(Power, LutArchitectureBurnsMore) {
+  // Same function, larger input capacitances and extra wire: the LUT-based
+  // implementation should not be cheaper in dynamic power.
+  const auto src = designs::make_ripple_adder(16);
+  const auto g = prepare(src, core::PlbArchitecture::granular());
+  const auto l = prepare(src, core::PlbArchitecture::lut_based());
+  timing::PowerOptions o;
+  o.clock_period_ps = 8000;
+  const auto rg = timing::estimate_power(g.nl, g.placed, o);
+  const auto rl = timing::estimate_power(l.nl, l.placed, o);
+  EXPECT_LE(rg.dynamic_mw, rl.dynamic_mw * 1.05);
+}
+
+TEST(LayoutSvg, WellFormedAndAnnotated) {
+  const auto arch = core::PlbArchitecture::granular();
+  const auto p = prepare(designs::make_ripple_adder(16), arch);
+  const auto packed = pack::pack(p.nl, p.placed, arch);
+  const auto svg = pack::layout_svg(p.nl, packed, arch);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("ripple_adder16"), std::string::npos);
+  // The adder fuses FAs: orange macro outlines must appear.
+  EXPECT_NE(svg.find("#d95f02"), std::string::npos);
+  // Rect count >= grid size.
+  std::size_t rects = 0;
+  for (std::size_t at = svg.find("<rect"); at != std::string::npos;
+       at = svg.find("<rect", at + 1))
+    ++rects;
+  EXPECT_GE(rects, static_cast<std::size_t>(packed.grid_w * packed.grid_h));
+}
+
+TEST(LayoutSvg, WritesFile) {
+  const auto arch = core::PlbArchitecture::granular();
+  const auto p = prepare(designs::make_counter(6), arch);
+  const auto packed = pack::pack(p.nl, p.placed, arch);
+  EXPECT_TRUE(pack::write_layout_svg("/tmp/vpga_layout_test.svg", p.nl, packed, arch));
+  EXPECT_FALSE(pack::write_layout_svg("/nonexistent/dir/x.svg", p.nl, packed, arch));
+}
+
+}  // namespace
+}  // namespace vpga

@@ -1,0 +1,146 @@
+// Unit and property tests for vpga::logic::TruthTable.
+
+#include "logic/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace vpga::logic {
+namespace {
+
+TEST(TruthTable, ConstantsHaveExpectedBits) {
+  EXPECT_EQ(TruthTable::constant(3, false).bits(), 0u);
+  EXPECT_EQ(TruthTable::constant(3, true).bits(), 0xFFu);
+  EXPECT_EQ(TruthTable::constant(2, true).bits(), 0xFu);
+}
+
+TEST(TruthTable, VarProjectionMatchesRowBits) {
+  for (int v = 0; v < 3; ++v) {
+    const auto t = TruthTable::var(3, v);
+    for (unsigned r = 0; r < 8; ++r) EXPECT_EQ(t.eval(r), ((r >> v) & 1u) != 0) << v << " " << r;
+  }
+}
+
+TEST(TruthTable, KnownTruthTables) {
+  EXPECT_EQ(tt3::xor3().bits(), 0x96u);
+  EXPECT_EQ(tt3::xnor3().bits(), 0x69u);
+  EXPECT_EQ(tt3::maj3().bits(), 0xE8u);
+  EXPECT_EQ(tt3::nand3().bits(), 0x7Fu);
+}
+
+TEST(TruthTable, MuxConvention) {
+  // tt3::mux(): c selects between a (c=0) and b (c=1).
+  const auto m = tt3::mux();
+  for (unsigned r = 0; r < 8; ++r) {
+    const bool a = r & 1u, b = (r >> 1) & 1u, c = (r >> 2) & 1u;
+    EXPECT_EQ(m.eval(r), c ? b : a);
+  }
+}
+
+TEST(TruthTable, OperatorsArePointwise) {
+  const auto a = tt3::a(), b = tt3::b();
+  EXPECT_EQ((a & b).bits(), 0x88u);
+  EXPECT_EQ((a | b).bits(), 0xEEu);
+  EXPECT_EQ((a ^ b).bits(), 0x66u);
+  EXPECT_EQ((~a).bits(), 0x55u);
+}
+
+TEST(TruthTable, DependsOnDetectsSupport) {
+  const auto f = tt3::a() ^ tt3::b();  // ignores c
+  EXPECT_TRUE(f.depends_on(0));
+  EXPECT_TRUE(f.depends_on(1));
+  EXPECT_FALSE(f.depends_on(2));
+  EXPECT_EQ(f.support_size(), 2);
+  EXPECT_EQ(TruthTable::constant(3, true).support_size(), 0);
+  EXPECT_EQ(tt3::maj3().support_size(), 3);
+}
+
+TEST(TruthTable, RestrictKeepsArity) {
+  const auto f = tt3::maj3();
+  const auto f0 = f.restrict_var(2, false);  // maj(a,b,0) = a&b
+  const auto f1 = f.restrict_var(2, true);   // maj(a,b,1) = a|b
+  EXPECT_EQ(f0, tt3::a() & tt3::b());
+  EXPECT_EQ(f1, tt3::a() | tt3::b());
+  EXPECT_FALSE(f0.depends_on(2));
+}
+
+TEST(TruthTable, CofactorDropsVariable) {
+  const auto f = tt3::maj3();
+  const auto g = f.cofactor(2, false);
+  EXPECT_EQ(g.num_vars(), 2);
+  EXPECT_EQ(g.bits(), 0x8u);  // a & b over 2 vars
+  const auto h = f.cofactor(2, true);
+  EXPECT_EQ(h.bits(), 0xEu);  // a | b
+}
+
+TEST(TruthTable, CofactorOfMiddleVariableKeepsOrder) {
+  // f = b (projection of x1 in 3 vars); cofactor on x1 yields constants.
+  const auto f = tt3::b();
+  EXPECT_EQ(f.cofactor(1, false), TruthTable::constant(2, false));
+  EXPECT_EQ(f.cofactor(1, true), TruthTable::constant(2, true));
+  // f = c; after dropping x1, c becomes the new x1.
+  const auto g = tt3::c().cofactor(1, false);
+  EXPECT_EQ(g, TruthTable::var(2, 1));
+}
+
+TEST(TruthTable, ShannonExpansionIdentity) {
+  common::Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    const TruthTable f(3, rng.next_u64() & 0xFF);
+    for (int v = 0; v < 3; ++v) {
+      const auto x = TruthTable::var(3, v);
+      const auto expanded = (~x & f.restrict_var(v, false)) | (x & f.restrict_var(v, true));
+      EXPECT_EQ(expanded, f);
+    }
+  }
+}
+
+TEST(TruthTable, PermuteRotatesVariables) {
+  // perm maps new var i -> old var perm[i]; rotating (a,b,c) -> (b,c,a).
+  const auto f = tt3::a() & ~tt3::c();
+  std::array<int, TruthTable::kMaxVars> perm{1, 2, 0, 3, 4, 5};
+  const auto g = f.permute(perm);
+  // g(x) = f(y) where old variable perm[v] takes new variable v's value.
+  for (unsigned r = 0; r < 8; ++r) {
+    unsigned src = 0;
+    for (int v = 0; v < 3; ++v)
+      if (r & (1u << v)) src |= 1u << perm[static_cast<std::size_t>(v)];
+    EXPECT_EQ(g.eval(r), f.eval(src));
+  }
+}
+
+TEST(TruthTable, NegateVarIsInvolution) {
+  common::Rng rng(11);
+  for (int iter = 0; iter < 100; ++iter) {
+    const TruthTable f(4, rng.next_u64() & 0xFFFF);
+    for (int v = 0; v < 4; ++v) EXPECT_EQ(f.negate_var(v).negate_var(v), f);
+  }
+}
+
+TEST(TruthTable, NegateVarMatchesSubstitution) {
+  const auto f = tt3::a() & tt3::b();
+  EXPECT_EQ(f.negate_var(0), ~tt3::a() & tt3::b());
+}
+
+TEST(TruthTable, ExtendAddsDontCares) {
+  const auto f2 = TruthTable(2, 0x6);  // xor(a,b)
+  const auto f3 = f2.extend(3);
+  EXPECT_EQ(f3.num_vars(), 3);
+  EXPECT_EQ(f3, tt3::a() ^ tt3::b());
+  EXPECT_FALSE(f3.depends_on(2));
+}
+
+TEST(TruthTable, ToStringRowZeroFirst) {
+  EXPECT_EQ(tt3::xor3().to_string(), "01101001");
+  EXPECT_EQ(TruthTable(2, 0x8).to_string(), "0001");
+}
+
+TEST(TruthTable, SixVariableMaskIsFullWord) {
+  const auto t = TruthTable::constant(6, true);
+  EXPECT_EQ(t.bits(), ~std::uint64_t{0});
+  EXPECT_EQ(t.num_rows(), 64);
+}
+
+}  // namespace
+}  // namespace vpga::logic

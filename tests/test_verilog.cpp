@@ -1,0 +1,90 @@
+// Tests for the structural Verilog exporter.
+
+#include "netlist/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "designs/designs.hpp"
+#include "synth/mapper.hpp"
+
+namespace vpga::netlist {
+namespace {
+
+TEST(Verilog, IdentifierSanitization) {
+  EXPECT_EQ(verilog_identifier("a[3]", "x"), "a_3_");
+  EXPECT_EQ(verilog_identifier("", "n42"), "n42");
+  EXPECT_EQ(verilog_identifier("3state", "x"), "n3state");
+  EXPECT_EQ(verilog_identifier("ok_name", "x"), "ok_name");
+}
+
+TEST(Verilog, CombinationalModuleShape) {
+  Netlist nl("tiny");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  nl.add_output(nl.add_xor(a, b), "y");
+  const auto v = to_verilog(nl);
+  EXPECT_NE(v.find("module tiny ("), std::string::npos);
+  EXPECT_NE(v.find("input a;"), std::string::npos);
+  EXPECT_NE(v.find("output y;"), std::string::npos);
+  EXPECT_NE(v.find("a ^ b"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // No clock port in a combinational module.
+  EXPECT_EQ(v.find("clk"), std::string::npos);
+}
+
+TEST(Verilog, SequentialModuleHasClockAndAlways) {
+  const auto nl = designs::make_counter(4);
+  const auto v = to_verilog(nl);
+  EXPECT_NE(v.find("input clk;"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("<="), std::string::npos);
+  EXPECT_NE(v.find("reg "), std::string::npos);
+}
+
+TEST(Verilog, SopForThreeInputFunctions) {
+  Netlist nl("sop");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto c = nl.add_input("c");
+  nl.add_output(nl.add_maj(a, b, c), "m");
+  const auto v = to_verilog(nl);
+  // maj has four one-rows -> four product terms.
+  std::size_t terms = 0;
+  for (std::size_t at = v.find("(~"); at != std::string::npos; at = v.find("(~", at + 1)) ++terms;
+  EXPECT_NE(v.find(" | "), std::string::npos);
+  EXPECT_NE(v.find("(a & b & ~c)"), std::string::npos);
+}
+
+TEST(Verilog, AnnotatesMappedCells) {
+  const auto src = designs::make_ripple_adder(4);
+  const auto mapped = synth::tech_map(src, synth::cell_target(core::PlbArchitecture::granular()),
+                                      synth::Objective::kDelay);
+  const auto v = to_verilog(mapped.netlist);
+  EXPECT_NE(v.find("// cell:"), std::string::npos);
+}
+
+TEST(Verilog, UniqueNamesUnderCollision) {
+  Netlist nl("dup");
+  const auto a = nl.add_input("x");
+  const auto g = nl.add_comb(logic::TruthTable(1, 0b01), {a}, "x");  // collides with input
+  nl.add_output(g, "x_out");
+  const auto v = to_verilog(nl);
+  EXPECT_NE(v.find("x_1"), std::string::npos);
+}
+
+TEST(Verilog, ConstantsEmitted) {
+  Netlist nl("konst");
+  const auto one = nl.add_constant(true);
+  nl.add_output(one, "y");
+  const auto v = to_verilog(nl);
+  EXPECT_NE(v.find("1'b1"), std::string::npos);
+}
+
+TEST(Verilog, FileSave) {
+  const auto nl = designs::make_lfsr(6, 0b101000);
+  EXPECT_TRUE(save_verilog("/tmp/vpga_test.v", nl));
+  EXPECT_FALSE(save_verilog("/no/such/dir/x.v", nl));
+}
+
+}  // namespace
+}  // namespace vpga::netlist

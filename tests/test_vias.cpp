@@ -1,0 +1,75 @@
+// Tests for the configuration-via accounting model.
+
+#include "core/vias.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compact/compact.hpp"
+#include "designs/designs.hpp"
+#include "synth/mapper.hpp"
+
+namespace vpga::core {
+namespace {
+
+TEST(Vias, GranularHasMoreCandidateSites) {
+  // "greater configurability only results in an increase in potential via
+  // sites" — the granular tile must offer more than the LUT-based one.
+  EXPECT_GT(potential_via_sites(PlbArchitecture::granular()),
+            potential_via_sites(PlbArchitecture::lut_based()));
+  EXPECT_GT(potential_via_sites(PlbArchitecture::lut_based()), 0);
+}
+
+TEST(Vias, MoreFlipFlopsMoreSites) {
+  EXPECT_GT(potential_via_sites(PlbArchitecture::granular_with_ffs(4)),
+            potential_via_sites(PlbArchitecture::granular()));
+}
+
+TEST(Vias, ConfigViaCountsOrdered) {
+  // Composite configurations program more vias than single-stage ones.
+  EXPECT_GT(vias_for_config(ConfigKind::kNdmx), vias_for_config(ConfigKind::kMx));
+  EXPECT_GT(vias_for_config(ConfigKind::kXoandmx), vias_for_config(ConfigKind::kXoamx));
+  EXPECT_GT(vias_for_config(ConfigKind::kFullAdder), vias_for_config(ConfigKind::kXoandmx));
+  for (int i = 0; i < kNumConfigKinds; ++i)
+    EXPECT_GT(vias_for_config(static_cast<ConfigKind>(i)), 0) << i;
+}
+
+TEST(Vias, DesignCountScalesWithSize) {
+  const auto arch = PlbArchitecture::granular();
+  auto count = [&](int bits) {
+    const auto src = designs::make_ripple_adder(bits);
+    const auto mapped =
+        synth::tech_map(src, synth::cell_target(arch), synth::Objective::kDelay);
+    const auto comp = compact::compact_from(src, mapped.netlist, arch);
+    return count_vias(comp.netlist, arch, bits).placed;
+  };
+  const auto v8 = count(8);
+  const auto v16 = count(16);
+  EXPECT_GT(v8, 0);
+  EXPECT_NEAR(static_cast<double>(v16) / v8, 2.0, 0.3);
+}
+
+TEST(Vias, MacroCountedOnce) {
+  // A fused FA pair contributes one macro's worth of vias, not two configs'.
+  const auto arch = PlbArchitecture::granular();
+  const auto src = designs::make_ripple_adder(4);
+  const auto mapped =
+      synth::tech_map(src, synth::cell_target(arch), synth::Objective::kDelay);
+  const auto comp = compact::compact_from(src, mapped.netlist, arch);
+  const auto vias = count_vias(comp.netlist, arch, 4);
+  // 4 FA macros at 13 vias each, plus polarity repair buffers are free.
+  EXPECT_EQ(vias.placed, 4 * vias_for_config(ConfigKind::kFullAdder));
+}
+
+TEST(Vias, UtilizationInUnitRange) {
+  const auto arch = PlbArchitecture::lut_based();
+  const auto src = designs::make_ripple_adder(8);
+  const auto mapped =
+      synth::tech_map(src, synth::cell_target(arch), synth::Objective::kDelay);
+  const auto comp = compact::compact_from(src, mapped.netlist, arch);
+  const auto vias = count_vias(comp.netlist, arch, 32);
+  EXPECT_GT(vias.utilization(), 0.0);
+  EXPECT_LT(vias.utilization(), 1.0);
+}
+
+}  // namespace
+}  // namespace vpga::core
