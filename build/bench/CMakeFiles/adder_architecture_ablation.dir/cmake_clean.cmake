@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_architecture_ablation.dir/adder_architecture_ablation.cpp.o"
+  "CMakeFiles/adder_architecture_ablation.dir/adder_architecture_ablation.cpp.o.d"
+  "adder_architecture_ablation"
+  "adder_architecture_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_architecture_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compaction_ablation.dir/compaction_ablation.cpp.o"
+  "CMakeFiles/compaction_ablation.dir/compaction_ablation.cpp.o.d"
+  "compaction_ablation"
+  "compaction_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compaction_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffratio_ablation.dir/ffratio_ablation.cpp.o"
+  "CMakeFiles/ffratio_ablation.dir/ffratio_ablation.cpp.o.d"
+  "ffratio_ablation"
+  "ffratio_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffratio_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_s3_categories.dir/fig2_s3_categories.cpp.o"
+  "CMakeFiles/fig2_s3_categories.dir/fig2_s3_categories.cpp.o.d"
+  "fig2_s3_categories"
+  "fig2_s3_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_s3_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_modified_s3.
+# This may be replaced when dependencies are built.

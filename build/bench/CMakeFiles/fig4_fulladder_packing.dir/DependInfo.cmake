@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_fulladder_packing.cpp" "bench/CMakeFiles/fig4_fulladder_packing.dir/fig4_fulladder_packing.cpp.o" "gcc" "bench/CMakeFiles/fig4_fulladder_packing.dir/fig4_fulladder_packing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vpga_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_pack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fulladder_packing.dir/fig4_fulladder_packing.cpp.o"
+  "CMakeFiles/fig4_fulladder_packing.dir/fig4_fulladder_packing.cpp.o.d"
+  "fig4_fulladder_packing"
+  "fig4_fulladder_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fulladder_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_lut_decomposition.dir/fig5_lut_decomposition.cpp.o"
+  "CMakeFiles/fig5_lut_decomposition.dir/fig5_lut_decomposition.cpp.o.d"
+  "fig5_lut_decomposition"
+  "fig5_lut_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_lut_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

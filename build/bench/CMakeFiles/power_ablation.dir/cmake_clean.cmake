@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_ablation.dir/power_ablation.cpp.o"
+  "CMakeFiles/power_ablation.dir/power_ablation.cpp.o.d"
+  "power_ablation"
+  "power_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_ablation.dir/routing_ablation.cpp.o"
+  "CMakeFiles/routing_ablation.dir/routing_ablation.cpp.o.d"
+  "routing_ablation"
+  "routing_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

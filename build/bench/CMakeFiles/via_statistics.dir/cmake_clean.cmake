@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_statistics.dir/via_statistics.cpp.o"
+  "CMakeFiles/via_statistics.dir/via_statistics.cpp.o.d"
+  "via_statistics"
+  "via_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_datapath.dir/adder_datapath.cpp.o"
+  "CMakeFiles/adder_datapath.dir/adder_datapath.cpp.o.d"
+  "adder_datapath"
+  "adder_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npn_coverage_report.dir/npn_coverage_report.cpp.o"
+  "CMakeFiles/npn_coverage_report.dir/npn_coverage_report.cpp.o.d"
+  "npn_coverage_report"
+  "npn_coverage_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npn_coverage_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3_function_explorer.dir/s3_function_explorer.cpp.o"
+  "CMakeFiles/s3_function_explorer.dir/s3_function_explorer.cpp.o.d"
+  "s3_function_explorer"
+  "s3_function_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3_function_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for s3_function_explorer.
+# This may be replaced when dependencies are built.

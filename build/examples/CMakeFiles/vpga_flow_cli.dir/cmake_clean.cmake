@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_flow_cli.dir/vpga_flow_cli.cpp.o"
+  "CMakeFiles/vpga_flow_cli.dir/vpga_flow_cli.cpp.o.d"
+  "vpga_flow_cli"
+  "vpga_flow_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_flow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

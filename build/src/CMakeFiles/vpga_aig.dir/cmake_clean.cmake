@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_aig.dir/aig/aig.cpp.o"
+  "CMakeFiles/vpga_aig.dir/aig/aig.cpp.o.d"
+  "CMakeFiles/vpga_aig.dir/aig/balance.cpp.o"
+  "CMakeFiles/vpga_aig.dir/aig/balance.cpp.o.d"
+  "libvpga_aig.a"
+  "libvpga_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

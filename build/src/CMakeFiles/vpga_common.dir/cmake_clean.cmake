@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_common.dir/common/common.cpp.o"
+  "CMakeFiles/vpga_common.dir/common/common.cpp.o.d"
+  "libvpga_common.a"
+  "libvpga_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compact/compact.cpp" "src/CMakeFiles/vpga_compact.dir/compact/compact.cpp.o" "gcc" "src/CMakeFiles/vpga_compact.dir/compact/compact.cpp.o.d"
+  "/root/repo/src/compact/fa_fusion.cpp" "src/CMakeFiles/vpga_compact.dir/compact/fa_fusion.cpp.o" "gcc" "src/CMakeFiles/vpga_compact.dir/compact/fa_fusion.cpp.o.d"
+  "/root/repo/src/compact/flowmap.cpp" "src/CMakeFiles/vpga_compact.dir/compact/flowmap.cpp.o" "gcc" "src/CMakeFiles/vpga_compact.dir/compact/flowmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vpga_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

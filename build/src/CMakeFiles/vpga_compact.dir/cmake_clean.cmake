@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_compact.dir/compact/compact.cpp.o"
+  "CMakeFiles/vpga_compact.dir/compact/compact.cpp.o.d"
+  "CMakeFiles/vpga_compact.dir/compact/fa_fusion.cpp.o"
+  "CMakeFiles/vpga_compact.dir/compact/fa_fusion.cpp.o.d"
+  "CMakeFiles/vpga_compact.dir/compact/flowmap.cpp.o"
+  "CMakeFiles/vpga_compact.dir/compact/flowmap.cpp.o.d"
+  "libvpga_compact.a"
+  "libvpga_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arch_io.cpp" "src/CMakeFiles/vpga_core.dir/core/arch_io.cpp.o" "gcc" "src/CMakeFiles/vpga_core.dir/core/arch_io.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/vpga_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/vpga_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/fa_packing.cpp" "src/CMakeFiles/vpga_core.dir/core/fa_packing.cpp.o" "gcc" "src/CMakeFiles/vpga_core.dir/core/fa_packing.cpp.o.d"
+  "/root/repo/src/core/match.cpp" "src/CMakeFiles/vpga_core.dir/core/match.cpp.o" "gcc" "src/CMakeFiles/vpga_core.dir/core/match.cpp.o.d"
+  "/root/repo/src/core/plb.cpp" "src/CMakeFiles/vpga_core.dir/core/plb.cpp.o" "gcc" "src/CMakeFiles/vpga_core.dir/core/plb.cpp.o.d"
+  "/root/repo/src/core/vias.cpp" "src/CMakeFiles/vpga_core.dir/core/vias.cpp.o" "gcc" "src/CMakeFiles/vpga_core.dir/core/vias.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vpga_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_core.dir/core/arch_io.cpp.o"
+  "CMakeFiles/vpga_core.dir/core/arch_io.cpp.o.d"
+  "CMakeFiles/vpga_core.dir/core/config.cpp.o"
+  "CMakeFiles/vpga_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/vpga_core.dir/core/fa_packing.cpp.o"
+  "CMakeFiles/vpga_core.dir/core/fa_packing.cpp.o.d"
+  "CMakeFiles/vpga_core.dir/core/match.cpp.o"
+  "CMakeFiles/vpga_core.dir/core/match.cpp.o.d"
+  "CMakeFiles/vpga_core.dir/core/plb.cpp.o"
+  "CMakeFiles/vpga_core.dir/core/plb.cpp.o.d"
+  "CMakeFiles/vpga_core.dir/core/vias.cpp.o"
+  "CMakeFiles/vpga_core.dir/core/vias.cpp.o.d"
+  "libvpga_core.a"
+  "libvpga_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

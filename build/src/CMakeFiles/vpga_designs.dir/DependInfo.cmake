@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/alu.cpp" "src/CMakeFiles/vpga_designs.dir/designs/alu.cpp.o" "gcc" "src/CMakeFiles/vpga_designs.dir/designs/alu.cpp.o.d"
+  "/root/repo/src/designs/datapath.cpp" "src/CMakeFiles/vpga_designs.dir/designs/datapath.cpp.o" "gcc" "src/CMakeFiles/vpga_designs.dir/designs/datapath.cpp.o.d"
+  "/root/repo/src/designs/firewire.cpp" "src/CMakeFiles/vpga_designs.dir/designs/firewire.cpp.o" "gcc" "src/CMakeFiles/vpga_designs.dir/designs/firewire.cpp.o.d"
+  "/root/repo/src/designs/fpu.cpp" "src/CMakeFiles/vpga_designs.dir/designs/fpu.cpp.o" "gcc" "src/CMakeFiles/vpga_designs.dir/designs/fpu.cpp.o.d"
+  "/root/repo/src/designs/network_switch.cpp" "src/CMakeFiles/vpga_designs.dir/designs/network_switch.cpp.o" "gcc" "src/CMakeFiles/vpga_designs.dir/designs/network_switch.cpp.o.d"
+  "/root/repo/src/designs/small.cpp" "src/CMakeFiles/vpga_designs.dir/designs/small.cpp.o" "gcc" "src/CMakeFiles/vpga_designs.dir/designs/small.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vpga_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_designs.dir/designs/alu.cpp.o"
+  "CMakeFiles/vpga_designs.dir/designs/alu.cpp.o.d"
+  "CMakeFiles/vpga_designs.dir/designs/datapath.cpp.o"
+  "CMakeFiles/vpga_designs.dir/designs/datapath.cpp.o.d"
+  "CMakeFiles/vpga_designs.dir/designs/firewire.cpp.o"
+  "CMakeFiles/vpga_designs.dir/designs/firewire.cpp.o.d"
+  "CMakeFiles/vpga_designs.dir/designs/fpu.cpp.o"
+  "CMakeFiles/vpga_designs.dir/designs/fpu.cpp.o.d"
+  "CMakeFiles/vpga_designs.dir/designs/network_switch.cpp.o"
+  "CMakeFiles/vpga_designs.dir/designs/network_switch.cpp.o.d"
+  "CMakeFiles/vpga_designs.dir/designs/small.cpp.o"
+  "CMakeFiles/vpga_designs.dir/designs/small.cpp.o.d"
+  "libvpga_designs.a"
+  "libvpga_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

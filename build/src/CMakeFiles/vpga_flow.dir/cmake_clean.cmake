@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_flow.dir/flow/flow.cpp.o"
+  "CMakeFiles/vpga_flow.dir/flow/flow.cpp.o.d"
+  "libvpga_flow.a"
+  "libvpga_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_library.dir/library/characterize.cpp.o"
+  "CMakeFiles/vpga_library.dir/library/characterize.cpp.o.d"
+  "libvpga_library.a"
+  "libvpga_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/function_sets.cpp" "src/CMakeFiles/vpga_logic.dir/logic/function_sets.cpp.o" "gcc" "src/CMakeFiles/vpga_logic.dir/logic/function_sets.cpp.o.d"
+  "/root/repo/src/logic/lut_decompose.cpp" "src/CMakeFiles/vpga_logic.dir/logic/lut_decompose.cpp.o" "gcc" "src/CMakeFiles/vpga_logic.dir/logic/lut_decompose.cpp.o.d"
+  "/root/repo/src/logic/npn.cpp" "src/CMakeFiles/vpga_logic.dir/logic/npn.cpp.o" "gcc" "src/CMakeFiles/vpga_logic.dir/logic/npn.cpp.o.d"
+  "/root/repo/src/logic/s3.cpp" "src/CMakeFiles/vpga_logic.dir/logic/s3.cpp.o" "gcc" "src/CMakeFiles/vpga_logic.dir/logic/s3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vpga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_logic.dir/logic/function_sets.cpp.o"
+  "CMakeFiles/vpga_logic.dir/logic/function_sets.cpp.o.d"
+  "CMakeFiles/vpga_logic.dir/logic/lut_decompose.cpp.o"
+  "CMakeFiles/vpga_logic.dir/logic/lut_decompose.cpp.o.d"
+  "CMakeFiles/vpga_logic.dir/logic/npn.cpp.o"
+  "CMakeFiles/vpga_logic.dir/logic/npn.cpp.o.d"
+  "CMakeFiles/vpga_logic.dir/logic/s3.cpp.o"
+  "CMakeFiles/vpga_logic.dir/logic/s3.cpp.o.d"
+  "libvpga_logic.a"
+  "libvpga_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_netlist.dir/netlist/bitsim.cpp.o"
+  "CMakeFiles/vpga_netlist.dir/netlist/bitsim.cpp.o.d"
+  "CMakeFiles/vpga_netlist.dir/netlist/io.cpp.o"
+  "CMakeFiles/vpga_netlist.dir/netlist/io.cpp.o.d"
+  "CMakeFiles/vpga_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/vpga_netlist.dir/netlist/netlist.cpp.o.d"
+  "CMakeFiles/vpga_netlist.dir/netlist/simulate.cpp.o"
+  "CMakeFiles/vpga_netlist.dir/netlist/simulate.cpp.o.d"
+  "CMakeFiles/vpga_netlist.dir/netlist/verilog.cpp.o"
+  "CMakeFiles/vpga_netlist.dir/netlist/verilog.cpp.o.d"
+  "libvpga_netlist.a"
+  "libvpga_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

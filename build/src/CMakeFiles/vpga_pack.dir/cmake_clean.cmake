@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_pack.dir/pack/layout_svg.cpp.o"
+  "CMakeFiles/vpga_pack.dir/pack/layout_svg.cpp.o.d"
+  "CMakeFiles/vpga_pack.dir/pack/packer.cpp.o"
+  "CMakeFiles/vpga_pack.dir/pack/packer.cpp.o.d"
+  "libvpga_pack.a"
+  "libvpga_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvpga_pack.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_place.dir/place/placement.cpp.o"
+  "CMakeFiles/vpga_place.dir/place/placement.cpp.o.d"
+  "libvpga_place.a"
+  "libvpga_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

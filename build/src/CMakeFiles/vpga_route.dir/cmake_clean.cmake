@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_route.dir/route/router.cpp.o"
+  "CMakeFiles/vpga_route.dir/route/router.cpp.o.d"
+  "libvpga_route.a"
+  "libvpga_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

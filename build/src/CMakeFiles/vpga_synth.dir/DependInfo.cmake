@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/buffering.cpp" "src/CMakeFiles/vpga_synth.dir/synth/buffering.cpp.o" "gcc" "src/CMakeFiles/vpga_synth.dir/synth/buffering.cpp.o.d"
+  "/root/repo/src/synth/cuts.cpp" "src/CMakeFiles/vpga_synth.dir/synth/cuts.cpp.o" "gcc" "src/CMakeFiles/vpga_synth.dir/synth/cuts.cpp.o.d"
+  "/root/repo/src/synth/mapper.cpp" "src/CMakeFiles/vpga_synth.dir/synth/mapper.cpp.o" "gcc" "src/CMakeFiles/vpga_synth.dir/synth/mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vpga_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vpga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_synth.dir/synth/buffering.cpp.o"
+  "CMakeFiles/vpga_synth.dir/synth/buffering.cpp.o.d"
+  "CMakeFiles/vpga_synth.dir/synth/cuts.cpp.o"
+  "CMakeFiles/vpga_synth.dir/synth/cuts.cpp.o.d"
+  "CMakeFiles/vpga_synth.dir/synth/mapper.cpp.o"
+  "CMakeFiles/vpga_synth.dir/synth/mapper.cpp.o.d"
+  "libvpga_synth.a"
+  "libvpga_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

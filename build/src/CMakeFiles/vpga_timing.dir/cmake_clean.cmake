@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpga_timing.dir/timing/power.cpp.o"
+  "CMakeFiles/vpga_timing.dir/timing/power.cpp.o.d"
+  "CMakeFiles/vpga_timing.dir/timing/sta.cpp.o"
+  "CMakeFiles/vpga_timing.dir/timing/sta.cpp.o.d"
+  "libvpga_timing.a"
+  "libvpga_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpga_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

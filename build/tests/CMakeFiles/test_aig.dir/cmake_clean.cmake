@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aig.dir/test_aig.cpp.o"
+  "CMakeFiles/test_aig.dir/test_aig.cpp.o.d"
+  "test_aig"
+  "test_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_io.dir/test_arch_io.cpp.o"
+  "CMakeFiles/test_arch_io.dir/test_arch_io.cpp.o.d"
+  "test_arch_io"
+  "test_arch_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitsim.dir/test_bitsim.cpp.o"
+  "CMakeFiles/test_bitsim.dir/test_bitsim.cpp.o.d"
+  "test_bitsim"
+  "test_bitsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

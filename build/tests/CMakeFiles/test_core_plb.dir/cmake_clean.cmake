@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_plb.dir/test_core_plb.cpp.o"
+  "CMakeFiles/test_core_plb.dir/test_core_plb.cpp.o.d"
+  "test_core_plb"
+  "test_core_plb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_plb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fa_fusion.dir/test_fa_fusion.cpp.o"
+  "CMakeFiles/test_fa_fusion.dir/test_fa_fusion.cpp.o.d"
+  "test_fa_fusion"
+  "test_fa_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fa_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowmap.dir/test_flowmap.cpp.o"
+  "CMakeFiles/test_flowmap.dir/test_flowmap.cpp.o.d"
+  "test_flowmap"
+  "test_flowmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_function_sets.dir/test_function_sets.cpp.o"
+  "CMakeFiles/test_function_sets.dir/test_function_sets.cpp.o.d"
+  "test_function_sets"
+  "test_function_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_function_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_flow.dir/test_fuzz_flow.cpp.o"
+  "CMakeFiles/test_fuzz_flow.dir/test_fuzz_flow.cpp.o.d"
+  "test_fuzz_flow"
+  "test_fuzz_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

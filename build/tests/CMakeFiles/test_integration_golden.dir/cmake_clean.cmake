@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_golden.dir/test_integration_golden.cpp.o"
+  "CMakeFiles/test_integration_golden.dir/test_integration_golden.cpp.o.d"
+  "test_integration_golden"
+  "test_integration_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lut_decompose.dir/test_lut_decompose.cpp.o"
+  "CMakeFiles/test_lut_decompose.dir/test_lut_decompose.cpp.o.d"
+  "test_lut_decompose"
+  "test_lut_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lut_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

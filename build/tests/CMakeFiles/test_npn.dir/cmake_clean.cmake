@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npn.dir/test_npn.cpp.o"
+  "CMakeFiles/test_npn.dir/test_npn.cpp.o.d"
+  "test_npn"
+  "test_npn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_svg.dir/test_power_svg.cpp.o"
+  "CMakeFiles/test_power_svg.dir/test_power_svg.cpp.o.d"
+  "test_power_svg"
+  "test_power_svg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_svg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

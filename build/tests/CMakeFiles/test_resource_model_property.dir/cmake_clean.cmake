@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource_model_property.dir/test_resource_model_property.cpp.o"
+  "CMakeFiles/test_resource_model_property.dir/test_resource_model_property.cpp.o.d"
+  "test_resource_model_property"
+  "test_resource_model_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource_model_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_timing.dir/test_route_timing.cpp.o"
+  "CMakeFiles/test_route_timing.dir/test_route_timing.cpp.o.d"
+  "test_route_timing"
+  "test_route_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

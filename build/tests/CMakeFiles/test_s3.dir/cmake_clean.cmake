@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_s3.dir/test_s3.cpp.o"
+  "CMakeFiles/test_s3.dir/test_s3.cpp.o.d"
+  "test_s3"
+  "test_s3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_s3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truth_table.dir/test_truth_table.cpp.o"
+  "CMakeFiles/test_truth_table.dir/test_truth_table.cpp.o.d"
+  "test_truth_table"
+  "test_truth_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truth_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

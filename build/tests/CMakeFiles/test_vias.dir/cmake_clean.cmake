@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vias.dir/test_vias.cpp.o"
+  "CMakeFiles/test_vias.dir/test_vias.cpp.o.d"
+  "test_vias"
+  "test_vias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
