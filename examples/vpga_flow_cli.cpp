@@ -32,7 +32,8 @@ void usage(const char* argv0) {
                "          [--netlist file.vnl] [--clock ps]\n"
                "          [--arch granular|lut] [--arch-file file.plb] [--flow a|b]\n"
                "          [--svg layout.svg] [--save-mapped file.vnl]\n"
-               "          [--save-verilog file.v] [--power]\n",
+               "          [--save-verilog file.v] [--power]\n"
+               "          [--verify off|lint|equiv]   stage checking (docs/VERIFY.md)\n",
                argv0);
 }
 
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   char which = 'b';
   double clock_ps = 0.0;
   bool want_power = false;
+  verify::VerifyLevel verify_level = verify::VerifyLevel::kLint;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -72,6 +74,19 @@ int main(int argc, char** argv) {
       if (const char* v = next()) verilog_path = v;
     } else if (a == "--power") {
       want_power = true;
+    } else if (a == "--verify") {
+      const char* v = next();
+      const std::string level = v ? v : "";
+      if (level == "off") {
+        verify_level = verify::VerifyLevel::kOff;
+      } else if (level == "lint") {
+        verify_level = verify::VerifyLevel::kLint;
+      } else if (level == "equiv") {
+        verify_level = verify::VerifyLevel::kLintEquiv;
+      } else {
+        usage(argv[0]);
+        return 2;
+      }
     } else {
       usage(argv[0]);
       return 2;
@@ -121,7 +136,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto r = flow::run_flow(design, arch, which);
+  flow::FlowOptions fopts;
+  fopts.verify_level = verify_level;
+  const auto r = flow::run_flow(design, arch, which, fopts);
   std::printf("design        %s\n", r.design.c_str());
   std::printf("architecture  %s, flow %c\n", r.arch.c_str(), r.flow);
   std::printf("gates         %.0f NAND2-eq\n", r.gate_count_nand2);
@@ -132,6 +149,10 @@ int main(int argc, char** argv) {
   std::printf("wirelength    %.0f um\n", r.wirelength_um);
   std::printf("critical path %.0f ps (clock %.0f ps, top-10 slack %.1f ps)\n",
               r.critical_delay_ps, r.clock_period_ps, r.avg_slack_top10_ps);
+  if (verify_level != verify::VerifyLevel::kOff)
+    std::printf("verification  %s: clean (%d warnings)\n",
+                verify_level == verify::VerifyLevel::kLintEquiv ? "lint+equiv" : "lint",
+                r.verify.warning_count());
 
   // Artifacts need the intermediate netlists: rebuild the front of the flow.
   if (!svg_path.empty() || !save_path.empty() || !verilog_path.empty() || want_power) {

@@ -19,20 +19,33 @@ FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchi
   rep.flow = which;
   rep.clock_period_ps = design.clock_period_ps;
 
+  // Stage-boundary checker: every transformation below is bracketed by a
+  // check() + enforce() pair, so an illegal IR state aborts the flow at the
+  // boundary where it was introduced (docs/VERIFY.md).
+  verify::VerifyOptions vopts;
+  vopts.level = opts.verify_level;
+  vopts.equiv.seed = opts.seed;
+  verify::FlowVerifier verifier(arch, vopts);
+  const netlist::Netlist& golden = design.netlist;
+  verify::enforce(verifier.check(verify::Stage::kInput, golden));
+
   // 1. Synthesis + technology mapping to the restricted component library
   //    (Design Compiler stage), delay-oriented.
   auto mapped = synth::tech_map(design.netlist, synth::cell_target(arch),
                                 synth::Objective::kDelay);
+  verify::enforce(verifier.check(verify::Stage::kPostMap, mapped.netlist, &golden));
 
   // 2. Regularity-driven logic compaction into PLB configurations (the
   //    re-cover runs on the pre-mapping structure; area is accounted against
   //    the mapped netlist, as the paper's flow does).
   auto compacted = compact::compact_from(design.netlist, mapped.netlist, arch);
   rep.compaction = compacted.report;
+  verify::enforce(verifier.check(verify::Stage::kPostCompact, compacted.netlist, &golden));
 
   // 3. Physical synthesis: high-fanout buffering, then detailed placement.
   synth::insert_buffers(compacted.netlist, opts.max_fanout);
   const netlist::Netlist& nl = compacted.netlist;
+  verify::enforce(verifier.check(verify::Stage::kPostBuffer, nl, &golden));
   rep.gate_count_nand2 = nl.stats().nand2_equiv;
 
   place::PlacerOptions popts;
@@ -64,6 +77,7 @@ FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchi
     rep.avg_slack_top10_ps = t.avg_slack_top10_ps;
     rep.wns_ps = t.wns_ps;
     rep.critical_delay_ps = t.critical_delay_ps;
+    rep.verify = verifier.report();
     return rep;
   }
 
@@ -78,6 +92,7 @@ FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchi
     const auto t = timing::analyze(nl, packed.legal, pre);
     packo.criticality = t.criticality;
   }
+  verify::enforce(verifier.check(verify::Stage::kPostPack, nl, &golden, &packed));
 
   rep.die_area_um2 = packed.die_area_um2;
   rep.plbs = packed.plbs_used;
@@ -91,6 +106,7 @@ FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchi
   rep.avg_slack_top10_ps = t.avg_slack_top10_ps;
   rep.wns_ps = t.wns_ps;
   rep.critical_delay_ps = t.critical_delay_ps;
+  rep.verify = verifier.report();
   return rep;
 }
 

@@ -21,6 +21,7 @@
 #include "designs/designs.hpp"
 #include "pack/packer.hpp"
 #include "timing/sta.hpp"
+#include "verify/verify.hpp"
 
 namespace vpga::flow {
 
@@ -31,6 +32,11 @@ struct FlowOptions {
   int pack_timing_iterations = 2;
   int max_fanout = 8;
   double asic_utilization = 0.85;
+  /// Stage-boundary verification (docs/VERIFY.md). Every stage of either
+  /// flow is bracketed by checker calls; the flow aborts on error-severity
+  /// findings. kLintEquiv additionally proves each stage equivalent to the
+  /// input design on random stimulus.
+  verify::VerifyLevel verify_level = verify::VerifyLevel::kLint;
 };
 
 struct FlowReport {
@@ -47,6 +53,9 @@ struct FlowReport {
   int plbs = 0;                        ///< flow b only
   double max_displacement_um = 0.0;    ///< flow b legalization perturbation
   compact::CompactionReport compaction;
+  /// Findings from all stage-boundary checks (empty at verify_level kOff;
+  /// never contains errors — those abort the flow).
+  verify::VerifyReport verify;
 };
 
 /// Runs one flow (a or b) for one design on one PLB architecture.

@@ -1,0 +1,80 @@
+#pragma once
+/// \file diagnostic.hpp
+/// Structured findings emitted by the netlist lint / stage invariant checkers.
+///
+/// Every rule violation becomes one Diagnostic record carrying the rule id
+/// (a stable dotted string such as "lint.arity-mismatch"), the flow stage at
+/// whose boundary it was detected, the offending node (when one exists), and
+/// a human-readable explanation. Reports aggregate diagnostics across stages
+/// so the flow driver can abort on the first error-severity finding while
+/// still surfacing every warning. Rule ids are documented in docs/VERIFY.md.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vpga::verify {
+
+enum class Severity : std::uint8_t {
+  kWarning,  ///< suspicious but not correctness-breaking (flow continues)
+  kError,    ///< invariant violation; the flow must not proceed past it
+};
+
+/// One finding from a checker.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;       ///< stable rule id, e.g. "compact.bad-config-tag"
+  std::string stage;      ///< stage boundary, e.g. "post-compact"
+  netlist::NodeId node;   ///< offending node (invalid when not node-specific)
+  std::string message;
+};
+
+/// Accumulated findings, typically across all stage boundaries of one flow.
+class VerifyReport {
+ public:
+  void add(Severity sev, std::string rule, std::string stage, netlist::NodeId node,
+           std::string message) {
+    diagnostics_.push_back(
+        {sev, std::move(rule), std::move(stage), node, std::move(message)});
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  [[nodiscard]] std::size_t size() const { return diagnostics_.size(); }
+  [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
+
+  [[nodiscard]] int error_count() const {
+    int n = 0;
+    for (const auto& d : diagnostics_) n += d.severity == Severity::kError ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] int warning_count() const {
+    return static_cast<int>(diagnostics_.size()) - error_count();
+  }
+  [[nodiscard]] bool has_errors() const { return error_count() > 0; }
+
+  /// True iff some diagnostic carries exactly this rule id.
+  [[nodiscard]] bool fired(std::string_view rule) const {
+    for (const auto& d : diagnostics_)
+      if (d.rule == rule) return true;
+    return false;
+  }
+
+  /// Printable multi-line summary ("error [post-map] map.unmapped-node ...").
+  [[nodiscard]] std::string summary() const {
+    std::string s;
+    for (const auto& d : diagnostics_) {
+      s += d.severity == Severity::kError ? "error" : "warning";
+      s += " [" + d.stage + "] " + d.rule;
+      if (d.node.valid()) s += " (node " + std::to_string(d.node.index()) + ")";
+      s += ": " + d.message + "\n";
+    }
+    return s;
+  }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace vpga::verify

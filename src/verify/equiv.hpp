@@ -1,0 +1,35 @@
+#pragma once
+/// \file equiv.hpp
+/// Combinational-equivalence gate between flow stages.
+///
+/// Bit-parallel co-simulation of the pre- and post-stage netlists on shared
+/// random stimulus: 64 independent pattern streams advance cycle-by-cycle
+/// (registers clocked in lockstep from reset), so one run covers
+/// 64 * cycles input vectors. On divergence the gate reports the first
+/// mismatching primary output together with its input-support cone in the
+/// post-stage netlist — the region a debugging session must inspect.
+///
+/// Rule ids:
+///   equiv.interface-mismatch  PI/PO counts differ between the two netlists
+///   equiv.output-diverges     a primary output computes a different value
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace vpga::verify {
+
+struct EquivOptions {
+  int cycles = 64;             ///< clocked steps; 64 patterns in parallel each
+  std::uint64_t seed = 0xE0;   ///< stimulus seed (deterministic)
+};
+
+/// Checks that `revised` is cycle-for-cycle equivalent to `golden` on random
+/// stimulus. Both netlists must already be structurally clean (lint first:
+/// the simulator requires a valid topological order).
+void check_equivalence(const netlist::Netlist& golden, const netlist::Netlist& revised,
+                       const std::string& stage, VerifyReport& report,
+                       const EquivOptions& opts = {});
+
+}  // namespace vpga::verify

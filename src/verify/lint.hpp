@@ -1,0 +1,27 @@
+#pragma once
+/// \file lint.hpp
+/// Structural netlist lint — stage-independent well-formedness rules.
+///
+/// The lint is defensive: unlike Netlist::topo_order() (which asserts) it
+/// must survive arbitrarily corrupt netlists and report *all* violations, so
+/// every traversal bounds-checks ids before following them. Rules:
+///
+///   lint.invalid-fanin    a fanin handle is invalid or out of range
+///   lint.undriven-dff     a DFF's D pin was never connected
+///   lint.output-read      a node uses a primary output as a fanin
+///   lint.arity-mismatch   func.num_vars() != fanins.size() on a comb node
+///   lint.io-boundary      inputs/constants with fanins, outputs without
+///                         exactly one, or a constant with a non-0-ary table
+///   lint.comb-cycle       combinational cycle (DFF-aware: Q->D paths are ok)
+///   lint.duplicate-name   two distinct nodes share a nonempty name (warning)
+///   lint.unreachable      comb node feeds no output or register (warning)
+
+#include "netlist/netlist.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace vpga::verify {
+
+/// Runs every structural rule on `nl`, tagging findings with `stage`.
+void lint_netlist(const netlist::Netlist& nl, const std::string& stage, VerifyReport& report);
+
+}  // namespace vpga::verify

@@ -1,0 +1,63 @@
+#include "verify/verify.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace vpga::verify {
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kInput: return "input";
+    case Stage::kPostMap: return "post-map";
+    case Stage::kPostCompact: return "post-compact";
+    case Stage::kPostBuffer: return "post-buffer";
+    case Stage::kPostPack: return "post-pack";
+  }
+  return "?";
+}
+
+VerifyReport FlowVerifier::check(Stage stage, const netlist::Netlist& nl,
+                                 const netlist::Netlist* golden,
+                                 const pack::PackedDesign* packed) {
+  VerifyReport local;
+  if (opts_.level == VerifyLevel::kOff) return local;
+
+  const std::string name = to_string(stage);
+  lint_netlist(nl, name, local);
+
+  switch (stage) {
+    case Stage::kInput:
+      break;
+    case Stage::kPostMap:
+      check_post_map(nl, arch_, name, local);
+      break;
+    case Stage::kPostCompact:
+    case Stage::kPostBuffer:
+      check_post_compact(nl, arch_, name, local);
+      break;
+    case Stage::kPostPack:
+      check_post_compact(nl, arch_, name, local);
+      VPGA_ASSERT_MSG(packed != nullptr, "post-pack check needs the PackedDesign");
+      check_post_pack(nl, *packed, arch_, name, local);
+      break;
+  }
+
+  // The equivalence gate needs a valid topological order, so it only runs on
+  // netlists the lint passed without errors.
+  if (opts_.level == VerifyLevel::kLintEquiv && golden != nullptr &&
+      stage != Stage::kInput && !local.has_errors())
+    check_equivalence(*golden, nl, name, local, opts_.equiv);
+
+  for (const auto& d : local.diagnostics())
+    report_.add(d.severity, d.rule, d.stage, d.node, d.message);
+  return local;
+}
+
+void enforce(const VerifyReport& report) {
+  if (!report.has_errors()) return;  // warnings stay in the report, not on stderr
+  std::fputs(report.summary().c_str(), stderr);
+  VPGA_ASSERT_MSG(!report.has_errors(), "flow verification failed (see diagnostics above)");
+}
+
+}  // namespace vpga::verify

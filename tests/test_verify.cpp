@@ -1,0 +1,408 @@
+// Seeded-corruption tests for the stage-boundary checker: each test mutates a
+// known-good netlist in one targeted way and asserts that exactly the right
+// rule id fires — plus the clean-pass direction: every bench design clears
+// both flows at verify_level = lint+equiv with zero error diagnostics.
+
+#include "verify/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compact/compact.hpp"
+#include "designs/designs.hpp"
+#include "flow/flow.hpp"
+#include "pack/packer.hpp"
+#include "place/placement.hpp"
+#include "synth/mapper.hpp"
+
+namespace vpga::verify {
+namespace {
+
+using core::ConfigKind;
+using core::PlbArchitecture;
+using library::CellKind;
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeType;
+
+VerifyReport lint(const Netlist& nl) {
+  VerifyReport r;
+  lint_netlist(nl, "test", r);
+  return r;
+}
+
+/// A small clean netlist every lint rule is exercised against. (The counter
+/// generator is not used here: it carries a genuinely dead comb node, which
+/// the lint rightly flags as lint.unreachable.)
+Netlist good_netlist() { return designs::make_ripple_adder(4); }
+
+TEST(Lint, CleanNetlistHasNoFindings) {
+  const auto r = lint(good_netlist());
+  EXPECT_EQ(r.error_count(), 0) << r.summary();
+  EXPECT_EQ(r.warning_count(), 0) << r.summary();
+}
+
+TEST(Lint, DroppedFaninFiresArityMismatch) {
+  auto nl = good_netlist();
+  for (NodeId id : nl.all_nodes()) {
+    auto& n = nl.node(id);
+    if (n.type == NodeType::kComb && n.fanins.size() >= 2) {
+      n.fanins.pop_back();  // the seeded corruption: one fanin dropped
+      break;
+    }
+  }
+  const auto r = lint(nl);
+  EXPECT_TRUE(r.fired("lint.arity-mismatch")) << r.summary();
+  EXPECT_TRUE(r.has_errors());
+}
+
+TEST(Lint, OutOfRangeFaninFiresInvalidFanin) {
+  auto nl = good_netlist();
+  for (NodeId id : nl.all_nodes()) {
+    auto& n = nl.node(id);
+    if (n.type == NodeType::kComb && !n.fanins.empty()) {
+      n.fanins[0] = NodeId(nl.num_nodes() + 100);
+      break;
+    }
+  }
+  EXPECT_TRUE(lint(nl).fired("lint.invalid-fanin"));
+}
+
+TEST(Lint, ReadingAPrimaryOutputFiresOutputRead) {
+  auto nl = good_netlist();
+  ASSERT_FALSE(nl.outputs().empty());
+  for (NodeId id : nl.all_nodes()) {
+    auto& n = nl.node(id);
+    if (n.type == NodeType::kComb && !n.fanins.empty()) {
+      n.fanins[0] = nl.outputs().front();
+      break;
+    }
+  }
+  EXPECT_TRUE(lint(nl).fired("lint.output-read"));
+}
+
+TEST(Lint, BackEdgeFiresCombCycle) {
+  auto nl = good_netlist();
+  // Point an early comb node at a later one: a purely combinational loop.
+  NodeId early, late;
+  for (NodeId id : nl.all_nodes()) {
+    if (nl.node(id).type != NodeType::kComb || nl.node(id).fanins.empty()) continue;
+    if (!early.valid()) early = id;
+    late = id;
+  }
+  ASSERT_TRUE(early.valid() && late.valid() && early != late);
+  nl.node(early).fanins[0] = late;
+  nl.node(late).fanins[0] = early;
+  EXPECT_TRUE(lint(nl).fired("lint.comb-cycle"));
+}
+
+TEST(Lint, UnconnectedDffFiresUndrivenDff) {
+  auto nl = good_netlist();
+  nl.add_dff(NodeId{}, "orphan_ff");
+  EXPECT_TRUE(lint(nl).fired("lint.undriven-dff"));
+}
+
+TEST(Lint, FaninOnAnInputFiresIoBoundary) {
+  auto nl = good_netlist();
+  ASSERT_FALSE(nl.inputs().empty());
+  nl.node(nl.inputs().front()).fanins.push_back(nl.inputs().front());
+  EXPECT_TRUE(lint(nl).fired("lint.io-boundary"));
+}
+
+TEST(Lint, SharedNameFiresDuplicateNameWarning) {
+  auto nl = good_netlist();
+  const auto a = nl.add_input("twin");
+  const auto b = nl.add_input("twin");
+  (void)a;
+  (void)b;
+  const auto r = lint(nl);
+  EXPECT_TRUE(r.fired("lint.duplicate-name")) << r.summary();
+  EXPECT_FALSE(r.has_errors()) << "duplicate names are a warning, not an error";
+}
+
+TEST(Lint, DeadLogicFiresUnreachableWarning) {
+  auto nl = good_netlist();
+  ASSERT_GE(nl.inputs().size(), 2u);
+  nl.add_and(nl.inputs()[0], nl.inputs()[1]);  // feeds nothing
+  const auto r = lint(nl);
+  EXPECT_TRUE(r.fired("lint.unreachable")) << r.summary();
+  EXPECT_FALSE(r.has_errors());
+}
+
+/// Mapped/compacted/packed fixtures share this setup (granular architecture).
+struct Staged {
+  PlbArchitecture arch = PlbArchitecture::granular();
+  Netlist golden, mapped, compacted;
+  explicit Staged(Netlist src = designs::make_alu(4).netlist) : golden(std::move(src)) {
+    mapped = synth::tech_map(golden, synth::cell_target(arch), synth::Objective::kDelay)
+                 .netlist;
+    compacted = compact::compact_from(golden, mapped, arch).netlist;
+  }
+};
+
+TEST(StageChecks, CleanMappedAndCompactedNetlistsPass) {
+  Staged s;
+  VerifyReport r;
+  check_post_map(s.mapped, s.arch, "post-map", r);
+  check_post_compact(s.compacted, s.arch, "post-compact", r);
+  EXPECT_EQ(r.error_count(), 0) << r.summary();
+}
+
+TEST(StageChecks, ClearedCellFiresUnmappedNode) {
+  Staged s;
+  for (NodeId id : s.mapped.all_nodes()) {
+    auto& n = s.mapped.node(id);
+    if (n.type == NodeType::kComb && n.cell) {
+      n.cell.reset();
+      break;
+    }
+  }
+  VerifyReport r;
+  check_post_map(s.mapped, s.arch, "post-map", r);
+  EXPECT_TRUE(r.fired("map.unmapped-node"));
+}
+
+TEST(StageChecks, ForeignCellFiresIllegalCell) {
+  Staged s;
+  // The 3-LUT belongs to the LUT-based PLB, not the granular library.
+  for (NodeId id : s.mapped.all_nodes()) {
+    auto& n = s.mapped.node(id);
+    if (n.type == NodeType::kComb && n.cell) {
+      n.cell = CellKind::kLut3;
+      break;
+    }
+  }
+  VerifyReport r;
+  check_post_map(s.mapped, s.arch, "post-map", r);
+  EXPECT_TRUE(r.fired("map.illegal-cell"));
+}
+
+TEST(StageChecks, SwappedTruthTableFiresCellFunctionMismatch) {
+  Staged s;
+  // XOR3 is exactly what an ND3WI cannot realize (the S3 gap of Section 2).
+  bool corrupted = false;
+  for (NodeId id : s.mapped.all_nodes()) {
+    auto& n = s.mapped.node(id);
+    if (n.type == NodeType::kComb && n.cell == CellKind::kNd3wi && n.fanins.size() == 3) {
+      n.func = logic::tt3::xor3();
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "ALU mapping produced no 3-input ND3WI node";
+  VerifyReport r;
+  check_post_map(s.mapped, s.arch, "post-map", r);
+  EXPECT_TRUE(r.fired("map.cell-function-mismatch"));
+}
+
+NodeId first_configured(const Netlist& nl) {
+  for (NodeId id : nl.all_nodes()) {
+    const auto& n = nl.node(id);
+    if (n.type == NodeType::kComb && n.has_config()) return id;
+  }
+  return {};
+}
+
+TEST(StageChecks, ForgedConfigTagFiresBadConfigTag) {
+  Staged s;
+  const NodeId id = first_configured(s.compacted);
+  ASSERT_TRUE(id.valid());
+  s.compacted.node(id).config_tag = 0xEE;  // names no ConfigKind
+  VerifyReport r;
+  check_post_compact(s.compacted, s.arch, "post-compact", r);
+  EXPECT_TRUE(r.fired("compact.bad-config-tag"));
+}
+
+TEST(StageChecks, ForeignConfigFiresUnsupportedConfig) {
+  Staged s;
+  const NodeId id = first_configured(s.compacted);
+  ASSERT_TRUE(id.valid());
+  s.compacted.node(id).config_tag = static_cast<std::uint8_t>(ConfigKind::kLut3);
+  VerifyReport r;
+  check_post_compact(s.compacted, s.arch, "post-compact", r);
+  EXPECT_TRUE(r.fired("compact.unsupported-config"));
+}
+
+TEST(StageChecks, UndersizedTileFiresConfigOverflow) {
+  // A crippled architecture that still lists XOAMX as supported but has no
+  // MUX-class slots to realize it: supported yet unimplementable.
+  Staged s;
+  auto tiny = s.arch;
+  tiny.component_count[static_cast<std::size_t>(core::PlbComponent::kMux)] = 0;
+  tiny.component_count[static_cast<std::size_t>(core::PlbComponent::kXoa)] = 0;
+  const NodeId id = first_configured(s.compacted);
+  ASSERT_TRUE(id.valid());
+  s.compacted.node(id).config_tag = static_cast<std::uint8_t>(ConfigKind::kXoamx);
+  VerifyReport r;
+  check_post_compact(s.compacted, tiny, "post-compact", r);
+  EXPECT_TRUE(r.fired("compact.config-overflow")) << r.summary();
+}
+
+TEST(StageChecks, BrokenMacroGroupingFiresMacroRep) {
+  Staged s{designs::make_ripple_adder(8)};  // compaction forms FA macros here
+  bool corrupted = false;
+  for (NodeId id : s.compacted.all_nodes()) {
+    auto& n = s.compacted.node(id);
+    if (n.in_macro() && n.macro_rep != id) {
+      n.macro_rep = id == NodeId(0u) ? NodeId(1u) : NodeId(0u);  // a non-macro node
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  VerifyReport r;
+  check_post_compact(s.compacted, s.arch, "post-compact", r);
+  EXPECT_TRUE(r.fired("compact.macro-rep")) << r.summary();
+}
+
+TEST(StageChecks, StrippedConfigFiresMissingConfig) {
+  Staged s;
+  const NodeId id = first_configured(s.compacted);
+  ASSERT_TRUE(id.valid());
+  s.compacted.node(id).config_tag = netlist::Node::kNoConfig;
+  s.compacted.node(id).cell.reset();
+  VerifyReport r;
+  check_post_compact(s.compacted, s.arch, "post-compact", r);
+  EXPECT_TRUE(r.fired("compact.missing-config"));
+}
+
+/// Packed fixture: the compacted design legalized into the granular array.
+/// Defaults to the ripple adder, whose compaction produces full-adder macros
+/// (the ALU's re-cover does not), so macro co-location is exercised too.
+struct PackedStage : Staged {
+  place::Placement placed;
+  pack::PackedDesign packed;
+  explicit PackedStage(Netlist src = designs::make_ripple_adder(8))
+      : Staged(std::move(src)) {
+    placed = place::place(compacted);
+    packed = pack::pack(compacted, placed, arch);
+  }
+};
+
+TEST(StageChecks, CleanPackedDesignPasses) {
+  PackedStage s;
+  VerifyReport r;
+  check_post_pack(s.compacted, s.packed, s.arch, "post-pack", r);
+  EXPECT_EQ(r.error_count(), 0) << r.summary();
+}
+
+TEST(StageChecks, OutOfGridTileFiresTileBounds) {
+  PackedStage s;
+  const NodeId id = first_configured(s.compacted);
+  ASSERT_TRUE(id.valid());
+  s.packed.tile_of_node[id.index()] = s.packed.grid_w * s.packed.grid_h + 7;
+  VerifyReport r;
+  check_post_pack(s.compacted, s.packed, s.arch, "post-pack", r);
+  EXPECT_TRUE(r.fired("pack.tile-bounds"));
+}
+
+TEST(StageChecks, DroppedAssignmentFiresUnassigned) {
+  PackedStage s;
+  const NodeId id = first_configured(s.compacted);
+  ASSERT_TRUE(id.valid());
+  s.packed.tile_of_node[id.index()] = -1;
+  VerifyReport r;
+  check_post_pack(s.compacted, s.packed, s.arch, "post-pack", r);
+  EXPECT_TRUE(r.fired("pack.unassigned"));
+}
+
+TEST(StageChecks, OverstuffedTileFiresCapacity) {
+  PackedStage s;
+  for (NodeId id : s.compacted.all_nodes()) {
+    const auto& n = s.compacted.node(id);
+    if (n.type == NodeType::kDff || (n.type == NodeType::kComb && n.has_config()))
+      s.packed.tile_of_node[id.index()] = 0;  // everything into one tile
+  }
+  VerifyReport r;
+  check_post_pack(s.compacted, s.packed, s.arch, "post-pack", r);
+  EXPECT_TRUE(r.fired("pack.capacity"));
+}
+
+TEST(StageChecks, SeparatedMacroMembersFireMacroSplit) {
+  PackedStage s;
+  ASSERT_GE(s.packed.grid_w * s.packed.grid_h, 2);
+  bool corrupted = false;
+  for (NodeId id : s.compacted.all_nodes()) {
+    const auto& n = s.compacted.node(id);
+    if (n.in_macro() && n.macro_rep != id) {  // a non-representative FA member
+      const int tile = s.packed.tile_of_node[id.index()];
+      s.packed.tile_of_node[id.index()] = tile == 0 ? 1 : 0;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "ALU compaction produced no full-adder macro";
+  VerifyReport r;
+  check_post_pack(s.compacted, s.packed, s.arch, "post-pack", r);
+  EXPECT_TRUE(r.fired("pack.macro-split"));
+}
+
+TEST(Equiv, ComplementedNodeFiresOutputDiverges) {
+  const auto golden = designs::make_ripple_adder(4);
+  auto revised = golden;
+  for (NodeId id : revised.all_nodes()) {
+    auto& n = revised.node(id);
+    if (n.type == NodeType::kComb && n.fanins.size() >= 2) {
+      n.func = ~n.func;  // structurally legal, functionally wrong
+      break;
+    }
+  }
+  VerifyReport r;
+  check_equivalence(golden, revised, "test", r);
+  ASSERT_TRUE(r.fired("equiv.output-diverges")) << r.summary();
+  // The diagnostic names the diverging cone.
+  EXPECT_NE(r.diagnostics().front().message.find("cone"), std::string::npos);
+}
+
+TEST(Equiv, DifferentInterfacesFireInterfaceMismatch) {
+  VerifyReport r;
+  check_equivalence(designs::make_ripple_adder(4), designs::make_ripple_adder(8), "test", r);
+  EXPECT_TRUE(r.fired("equiv.interface-mismatch"));
+}
+
+TEST(Equiv, EquivalentNetlistsPass) {
+  const auto golden = designs::make_ripple_adder(6);
+  Staged s;  // mapped ALU is equivalent to its source by construction
+  VerifyReport r;
+  check_equivalence(s.golden, s.mapped, "test", r);
+  EXPECT_EQ(r.error_count(), 0) << r.summary();
+}
+
+TEST(FlowVerifier, AccumulatesAcrossStages) {
+  Staged s;
+  VerifyOptions opts;
+  opts.level = VerifyLevel::kLintEquiv;
+  FlowVerifier v(s.arch, opts);
+  EXPECT_EQ(v.check(Stage::kInput, s.golden).error_count(), 0);
+  EXPECT_EQ(v.check(Stage::kPostMap, s.mapped, &s.golden).error_count(), 0);
+  EXPECT_EQ(v.check(Stage::kPostCompact, s.compacted, &s.golden).error_count(), 0);
+  EXPECT_EQ(v.report().error_count(), 0) << v.report().summary();
+}
+
+TEST(FlowVerifier, OffLevelChecksNothing) {
+  auto nl = good_netlist();
+  nl.add_dff(NodeId{}, "orphan_ff");  // would be an error at kLint
+  VerifyOptions opts;
+  opts.level = VerifyLevel::kOff;
+  FlowVerifier v(PlbArchitecture::granular(), opts);
+  EXPECT_TRUE(v.check(Stage::kInput, nl).empty());
+}
+
+// The acceptance gate: every bench design runs both flows on both paper
+// architectures at lint+equiv with zero error diagnostics.
+TEST(FlowVerifier, BenchSuitePassesLintEquivCleanly) {
+  flow::FlowOptions opts;
+  opts.verify_level = VerifyLevel::kLintEquiv;
+  for (const auto& d : designs::paper_suite(0.2)) {
+    for (const auto& arch : {PlbArchitecture::granular(), PlbArchitecture::lut_based()}) {
+      for (char which : {'a', 'b'}) {
+        const auto rep = flow::run_flow(d, arch, which, opts);
+        EXPECT_EQ(rep.verify.error_count(), 0)
+            << d.netlist.name() << "/" << arch.name << "/" << which << "\n"
+            << rep.verify.summary();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vpga::verify
