@@ -28,14 +28,14 @@ struct SuiteResults {
   std::vector<bool> datapath;
 };
 
-inline SuiteResults run_suite() {
+inline SuiteResults run_suite(const flow::FlowOptions& opts = {}) {
   SuiteResults out;
   const double scale = bench_scale();
   std::fprintf(stderr, "[flow_bench] running paper suite at scale %.2f...\n", scale);
   for (const auto& d : designs::paper_suite(scale)) {
     std::fprintf(stderr, "[flow_bench]   %s (%0.0f NAND2-eq)\n", d.netlist.name().c_str(),
                  d.netlist.stats().nand2_equiv);
-    out.designs.push_back(flow::compare_architectures(d));
+    out.designs.push_back(flow::compare_architectures(d, opts));
     out.names.push_back(d.netlist.name());
     out.datapath.push_back(d.datapath_dominated);
   }

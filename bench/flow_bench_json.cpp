@@ -1,0 +1,188 @@
+// Machine-readable flow bench: runs the paper suite (Tables 1/2 structure —
+// four designs x {granular, LUT} x {flow a, flow b}) with tracing and metrics
+// enabled and emits BENCH_flow.json with per-stage wall-clock plus every flow
+// counter, so CI can chart stage cost over time.
+//
+//   flow_bench_json [--out BENCH_flow.json]
+//
+// Doubles as the observability guard: exits nonzero if any expected stage
+// span is missing from any run, or if the emitted JSON does not parse back
+// (obs/json.hpp). VPGA_BENCH_SCALE shrinks the designs as usual.
+
+#include "flow_bench.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using vpga::flow::FlowReport;
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+      out += buf;
+    } else {
+      out += ch;
+    }
+  }
+}
+
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+// Stage spans every flow must record exactly once (stage.pack repeats per
+// pack<->STA iteration in flow b and never appears in flow a).
+const std::vector<std::string>& required_stages() {
+  static const std::vector<std::string> stages = {
+      "stage.verify", "stage.map", "stage.compact", "stage.buffer",
+      "stage.place",  "stage.route", "stage.sta"};
+  return stages;
+}
+
+int check_spans(const FlowReport& r, const std::string& label) {
+  int bad = 0;
+  for (const auto& s : required_stages()) {
+    if (r.obs.span_count(s) != 1) {
+      std::fprintf(stderr, "[flow_bench_json] FAIL %s: span %s appears %d times (want 1)\n",
+                   label.c_str(), s.c_str(), r.obs.span_count(s));
+      ++bad;
+    }
+  }
+  const int packs = r.obs.span_count("stage.pack");
+  if (r.flow == 'b' ? packs < 1 : packs != 0) {
+    std::fprintf(stderr, "[flow_bench_json] FAIL %s: stage.pack appears %d times in flow %c\n",
+                 label.c_str(), packs, r.flow);
+    ++bad;
+  }
+  return bad;
+}
+
+void append_run(std::string& out, const FlowReport& r, const std::string& design) {
+  out += "    {\"design\":\"";
+  append_escaped(out, design);
+  out += "\",\"arch\":\"";
+  append_escaped(out, r.arch);
+  out += "\",\"flow\":\"";
+  out += r.flow;
+  out += "\",";
+
+  // Per-stage wall clock: sum of same-named span durations (stage.pack may
+  // close several times), plus the run total from the root spans.
+  std::map<std::string, std::int64_t> stage_us;
+  std::int64_t total_us = 0;
+  for (const auto& s : r.obs.spans) {
+    if (s.name.rfind("stage.", 0) == 0) stage_us[s.name] += s.dur_us;
+    if (s.depth == 0) total_us += s.dur_us;
+  }
+  out += "\"total_us\":";
+  append_num(out, static_cast<double>(total_us));
+  out += ",\"stages\":{";
+  bool first = true;
+  for (const auto& [name, us] : stage_us) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":";
+    append_num(out, static_cast<double>(us));
+  }
+  out += "},\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : r.obs.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":";
+    append_num(out, static_cast<double>(value));
+  }
+  out += "},\"report\":{";
+  out += "\"gate_count_nand2\":";
+  append_num(out, r.gate_count_nand2);
+  out += ",\"die_area_um2\":";
+  append_num(out, r.die_area_um2);
+  out += ",\"wirelength_um\":";
+  append_num(out, r.wirelength_um);
+  out += ",\"critical_delay_ps\":";
+  append_num(out, r.critical_delay_ps);
+  out += ",\"plbs\":";
+  append_num(out, r.plbs);
+  out += "}}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vpga;
+  std::string out_path = "BENCH_flow.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out BENCH_flow.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  flow::FlowOptions opts;
+  opts.trace = true;
+  opts.metrics = true;
+  const auto suite = benchharness::run_suite(opts);
+
+  int missing = 0;
+  std::string json = "{\"schema\":\"vpga.flow_bench.v1\",\"scale\":";
+  append_num(json, benchharness::bench_scale());
+  json += ",\"runs\":[\n";
+  bool first = true;
+  for (std::size_t i = 0; i < suite.designs.size(); ++i) {
+    const auto& c = suite.designs[i];
+    for (const FlowReport* r : {&c.granular_a, &c.granular_b, &c.lut_a, &c.lut_b}) {
+      missing += check_spans(*r, suite.names[i] + "/" + r->arch + "/" + r->flow);
+      if (!first) json += ",\n";
+      first = false;
+      append_run(json, *r, suite.names[i]);
+    }
+  }
+  json += "\n]}\n";
+
+  // The file must be valid JSON before anything downstream trusts it.
+  obs::json::Value parsed;
+  std::string err;
+  if (!obs::json::parse(json, parsed, &err)) {
+    std::fprintf(stderr, "[flow_bench_json] FAIL: emitted JSON does not parse: %s\n",
+                 err.c_str());
+    return 1;
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "[flow_bench_json] FAIL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::fprintf(stderr, "[flow_bench_json] wrote %s (%zu runs)\n", out_path.c_str(),
+               parsed.find("runs")->array.size());
+  if (missing != 0) {
+    std::fprintf(stderr, "[flow_bench_json] FAIL: %d missing/duplicated stage spans\n",
+                 missing);
+    return 1;
+  }
+  return 0;
+}

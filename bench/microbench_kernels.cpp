@@ -9,6 +9,7 @@
 #include "compact/flowmap.hpp"
 #include "designs/designs.hpp"
 #include "logic/s3.hpp"
+#include "obs/obs.hpp"
 #include "pack/packer.hpp"
 #include "place/placement.hpp"
 #include "synth/cuts.hpp"
@@ -88,6 +89,30 @@ void BM_Sta(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(timing::analyze(p.nl, p.placed, o));
 }
 BENCHMARK(BM_Sta)->Arg(8)->Arg(32);
+
+// The observability claim: kernels pay nothing when tracing/metrics are off.
+// BM_Sta runs the most instrumented kernel with no bound context; the pair
+// below measures the raw disabled instrumentation points themselves.
+void BM_ObsDisabledInstrumentation(benchmark::State& state) {
+  for (auto _ : state) {
+    const obs::Span s("bench.span");
+    obs::count("bench.counter");
+    obs::observe("bench.histogram", 1.0);
+  }
+}
+BENCHMARK(BM_ObsDisabledInstrumentation);
+
+// Metrics only: an enabled tracer keeps every span, which would grow without
+// bound across benchmark iterations.
+void BM_ObsEnabledMetrics(benchmark::State& state) {
+  obs::ObsContext ctx(/*trace=*/false, /*metrics=*/true);
+  const obs::ScopedObs bind(&ctx);
+  for (auto _ : state) {
+    obs::count("bench.counter");
+    obs::observe("bench.histogram", 1.0);
+  }
+}
+BENCHMARK(BM_ObsEnabledMetrics);
 
 }  // namespace
 

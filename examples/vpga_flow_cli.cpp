@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "compact/compact.hpp"
@@ -33,7 +34,10 @@ void usage(const char* argv0) {
                "          [--arch granular|lut] [--arch-file file.plb] [--flow a|b]\n"
                "          [--svg layout.svg] [--save-mapped file.vnl]\n"
                "          [--save-verilog file.v] [--power]\n"
-               "          [--verify off|lint|equiv]   stage checking (docs/VERIFY.md)\n",
+               "          [--verify off|lint|equiv]   stage checking (docs/VERIFY.md)\n"
+               "          [--trace trace.json]        Chrome trace of the flow stages\n"
+               "          [--metrics-json file.json]  flow counters/histograms\n"
+               "                                      (docs/OBSERVABILITY.md)\n",
                argv0);
 }
 
@@ -46,6 +50,7 @@ int main(int argc, char** argv) {
   std::string arch_name = "granular";
   std::string arch_file;
   std::string svg_path, save_path, verilog_path;
+  std::string trace_path, metrics_path;
   char which = 'b';
   double clock_ps = 0.0;
   bool want_power = false;
@@ -72,6 +77,10 @@ int main(int argc, char** argv) {
       if (const char* v = next()) save_path = v;
     } else if (a == "--save-verilog") {
       if (const char* v = next()) verilog_path = v;
+    } else if (a == "--trace") {
+      if (const char* v = next()) trace_path = v;
+    } else if (a == "--metrics-json") {
+      if (const char* v = next()) metrics_path = v;
     } else if (a == "--power") {
       want_power = true;
     } else if (a == "--verify") {
@@ -138,6 +147,8 @@ int main(int argc, char** argv) {
 
   flow::FlowOptions fopts;
   fopts.verify_level = verify_level;
+  fopts.trace = !trace_path.empty();
+  fopts.metrics = !metrics_path.empty();
   const auto r = flow::run_flow(design, arch, which, fopts);
   std::printf("design        %s\n", r.design.c_str());
   std::printf("architecture  %s, flow %c\n", r.arch.c_str(), r.flow);
@@ -153,6 +164,26 @@ int main(int argc, char** argv) {
     std::printf("verification  %s: clean (%d warnings)\n",
                 verify_level == verify::VerifyLevel::kLintEquiv ? "lint+equiv" : "lint",
                 r.verify.warning_count());
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    out << r.obs.chrome_trace_json();
+    std::printf("trace         %s (%zu spans; open in ui.perfetto.dev)\n",
+                trace_path.c_str(), r.obs.spans.size());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    out << r.obs.metrics_json();
+    std::printf("metrics       %s (%zu counters)\n", metrics_path.c_str(),
+                r.obs.counters.size());
+  }
 
   // Artifacts need the intermediate netlists: rebuild the front of the flow.
   if (!svg_path.empty() || !save_path.empty() || !verilog_path.empty() || want_power) {

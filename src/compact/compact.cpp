@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "compact/fa_fusion.hpp"
 #include "core/config.hpp"
+#include "obs/obs.hpp"
 
 namespace vpga::compact {
 
@@ -227,6 +228,8 @@ CompactionResult compact_from(const netlist::Netlist& reference, const netlist::
   double best_tiles = 1e18;
   constexpr int kPricingRounds = 3;
   for (int round = 0; round < kPricingRounds; ++round) {
+    const obs::Span round_span("compact.pricing_round");
+    obs::count("compact.cover_rounds");
     auto target = synth::config_target(arch, lib);
     for (auto& opt : target.options) {
       const auto spec = core::config_spec(static_cast<core::ConfigKind>(opt.config_tag), lib);
@@ -388,6 +391,11 @@ CompactionResult compact_from(const netlist::Netlist& reference, const netlist::
   }
   result.report.nodes_after = nodes_after;
   result.report.depth_after = r.stats.depth;
+  for (std::size_t k = 0; k < core::kNumConfigKinds; ++k)
+    if (result.report.config_histogram[k] > 0)
+      obs::count(std::string("compact.config.") +
+                     core::to_string(static_cast<core::ConfigKind>(k)),
+                 result.report.config_histogram[k]);
   return result;
 }
 

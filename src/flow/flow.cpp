@@ -1,18 +1,24 @@
 #include "flow/flow.hpp"
 
 #include <cmath>
+#include <thread>
 
 #include "common/assert.hpp"
+#include "obs/obs.hpp"
 #include "place/placement.hpp"
 #include "route/router.hpp"
 #include "synth/buffering.hpp"
 #include "synth/mapper.hpp"
 
 namespace vpga::flow {
+namespace {
 
-FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchitecture& arch,
-                    char which, const FlowOptions& opts) {
-  VPGA_ASSERT(which == 'a' || which == 'b');
+/// The flow body proper; run_flow wraps it in an ObsContext so every
+/// obs::Span / obs::count below (and inside the stage modules) lands in this
+/// run's report.
+FlowReport run_flow_impl(const designs::BenchmarkDesign& design,
+                         const core::PlbArchitecture& arch, char which,
+                         const FlowOptions& opts) {
   FlowReport rep;
   rep.design = design.netlist.name();
   rep.arch = arch.name;
@@ -27,40 +33,56 @@ FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchi
   vopts.equiv.seed = opts.seed;
   verify::FlowVerifier verifier(arch, vopts);
   const netlist::Netlist& golden = design.netlist;
-  verify::enforce(verifier.check(verify::Stage::kInput, golden));
+  {
+    const obs::Span span("stage.verify");
+    verify::enforce(verifier.check(verify::Stage::kInput, golden));
+  }
 
   // 1. Synthesis + technology mapping to the restricted component library
   //    (Design Compiler stage), delay-oriented.
-  auto mapped = synth::tech_map(design.netlist, synth::cell_target(arch),
-                                synth::Objective::kDelay);
-  verify::enforce(verifier.check(verify::Stage::kPostMap, mapped.netlist, &golden));
+  synth::MapResult mapped;
+  {
+    const obs::Span span("stage.map");
+    mapped = synth::tech_map(design.netlist, synth::cell_target(arch),
+                             synth::Objective::kDelay);
+    verify::enforce(verifier.check(verify::Stage::kPostMap, mapped.netlist, &golden));
+  }
 
   // 2. Regularity-driven logic compaction into PLB configurations (the
   //    re-cover runs on the pre-mapping structure; area is accounted against
   //    the mapped netlist, as the paper's flow does).
-  auto compacted = compact::compact_from(design.netlist, mapped.netlist, arch);
-  rep.compaction = compacted.report;
-  verify::enforce(verifier.check(verify::Stage::kPostCompact, compacted.netlist, &golden));
+  compact::CompactionResult compacted;
+  {
+    const obs::Span span("stage.compact");
+    compacted = compact::compact_from(design.netlist, mapped.netlist, arch);
+    rep.compaction = compacted.report;
+    verify::enforce(verifier.check(verify::Stage::kPostCompact, compacted.netlist, &golden));
+  }
 
   // 3. Physical synthesis: high-fanout buffering, then detailed placement.
-  synth::insert_buffers(compacted.netlist, opts.max_fanout);
+  {
+    const obs::Span span("stage.buffer");
+    synth::insert_buffers(compacted.netlist, opts.max_fanout);
+    verify::enforce(verifier.check(verify::Stage::kPostBuffer, compacted.netlist, &golden));
+  }
   const netlist::Netlist& nl = compacted.netlist;
-  verify::enforce(verifier.check(verify::Stage::kPostBuffer, nl, &golden));
   rep.gate_count_nand2 = nl.stats().nand2_equiv;
 
   place::PlacerOptions popts;
   popts.seed = opts.seed;
   popts.utilization = opts.asic_utilization;
-  auto placed = place::place(nl, popts);
 
   const library::EffortModel process;
   timing::StaOptions sta;
   sta.clock_period_ps = design.clock_period_ps;
   sta.process = process;
 
-  // Timing-driven placement refinement (Dolphin's physical synthesis is
-  // timing-driven): one STA pass feeds criticality weights into a re-place.
+  place::Placement placed;
   {
+    const obs::Span span("stage.place");
+    placed = place::place(nl, popts);
+    // Timing-driven placement refinement (Dolphin's physical synthesis is
+    // timing-driven): one STA pass feeds criticality weights into a re-place.
     const auto t = timing::analyze(nl, placed, sta);
     popts.criticality = t.criticality;
     placed = place::place(nl, popts);
@@ -70,9 +92,14 @@ FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchi
     // flow a: ASIC implementation of the restricted-library netlist.
     rep.die_area_um2 = place::asic_die_area(nl, opts.asic_utilization);
     const double cell_pitch = std::max(4.0, placed.width_um / 64.0);
-    const auto routed = route::route(nl, placed, cell_pitch);
+    route::RoutingResult routed;
+    {
+      const obs::Span span("stage.route");
+      routed = route::route(nl, placed, cell_pitch);
+    }
     rep.wirelength_um = routed.total_wirelength_um;
     sta.net_length_um = routed.net_length_um;
+    const obs::Span span("stage.sta");
     const auto t = timing::analyze(nl, placed, sta);
     rep.avg_slack_top10_ps = t.avg_slack_top10_ps;
     rep.wns_ps = t.wns_ps;
@@ -85,6 +112,8 @@ FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchi
   pack::PackOptions packo;
   pack::PackedDesign packed;
   for (int iter = 0; iter < std::max(1, opts.pack_timing_iterations); ++iter) {
+    const obs::Span span("stage.pack");
+    obs::count("flow.pack_sta_iterations");
     packed = pack::pack(nl, placed, arch, packo);
     // Timing on the legalized design feeds criticality back into the next
     // packing round (the paper's packing <-> physical-synthesis iteration).
@@ -98,10 +127,18 @@ FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchi
   rep.plbs = packed.plbs_used;
   rep.max_displacement_um = packed.max_displacement_um;
 
-  // ASIC-style global+detailed routing over the array (upper metal layers).
-  const auto routed = route::route(nl, packed.legal, packed.tile_size_um);
+  // ASIC-style global+detailed routing over the array (upper metal layers),
+  // then the via-budget gate: the routed + configured design must fit the
+  // tiles' candidate via sites.
+  route::RoutingResult routed;
+  {
+    const obs::Span span("stage.route");
+    routed = route::route(nl, packed.legal, packed.tile_size_um);
+    verify::enforce(verifier.check(verify::Stage::kPostRoute, nl, nullptr, &packed));
+  }
   rep.wirelength_um = routed.total_wirelength_um;
   sta.net_length_um = routed.net_length_um;
+  const obs::Span span("stage.sta");
   const auto t = timing::analyze(nl, packed.legal, sta);
   rep.avg_slack_top10_ps = t.avg_slack_top10_ps;
   rep.wns_ps = t.wns_ps;
@@ -110,15 +147,41 @@ FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchi
   return rep;
 }
 
+}  // namespace
+
+FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchitecture& arch,
+                    char which, const FlowOptions& opts) {
+  VPGA_ASSERT(which == 'a' || which == 'b');
+  obs::ObsContext ctx(opts.trace, opts.metrics);
+  const obs::ScopedObs bind(&ctx);
+  FlowReport rep = run_flow_impl(design, arch, which, opts);
+  rep.obs = ctx.report();
+  return rep;
+}
+
 DesignComparison compare_architectures(const designs::BenchmarkDesign& design,
                                        const FlowOptions& opts) {
   DesignComparison c;
   const auto gran = core::PlbArchitecture::granular();
   const auto lut = core::PlbArchitecture::lut_based();
-  c.granular_a = run_flow(design, gran, 'a', opts);
-  c.granular_b = run_flow(design, gran, 'b', opts);
-  c.lut_a = run_flow(design, lut, 'a', opts);
-  c.lut_b = run_flow(design, lut, 'b', opts);
+  if (!opts.parallel_compare) {
+    c.granular_a = run_flow(design, gran, 'a', opts);
+    c.granular_b = run_flow(design, gran, 'b', opts);
+    c.lut_a = run_flow(design, lut, 'a', opts);
+    c.lut_b = run_flow(design, lut, 'b', opts);
+    return c;
+  }
+  // The four runs share only immutable inputs (design, architectures, opts);
+  // each run_flow binds a fresh thread-local ObsContext, so traces and
+  // metrics never interleave and the reports match the serial path exactly.
+  std::thread tga([&] { c.granular_a = run_flow(design, gran, 'a', opts); });
+  std::thread tgb([&] { c.granular_b = run_flow(design, gran, 'b', opts); });
+  std::thread tla([&] { c.lut_a = run_flow(design, lut, 'a', opts); });
+  std::thread tlb([&] { c.lut_b = run_flow(design, lut, 'b', opts); });
+  tga.join();
+  tgb.join();
+  tla.join();
+  tlb.join();
   return c;
 }
 

@@ -19,6 +19,7 @@
 #include "compact/compact.hpp"
 #include "core/plb.hpp"
 #include "designs/designs.hpp"
+#include "obs/obs.hpp"
 #include "pack/packer.hpp"
 #include "timing/sta.hpp"
 #include "verify/verify.hpp"
@@ -37,6 +38,15 @@ struct FlowOptions {
   /// findings. kLintEquiv additionally proves each stage equivalent to the
   /// input design on random stimulus.
   verify::VerifyLevel verify_level = verify::VerifyLevel::kLint;
+  /// Record a nested span tree of the run (docs/OBSERVABILITY.md); exported
+  /// from FlowReport::obs as Chrome trace-event JSON. Off = zero overhead.
+  bool trace = false;
+  /// Record named work counters/gauges/histograms from every stage.
+  bool metrics = false;
+  /// Run compare_architectures' four flows on four threads. Each run binds
+  /// its own ObsContext, so traces/metrics stay per-run; results are
+  /// deterministic and identical to the serial path.
+  bool parallel_compare = false;
 };
 
 struct FlowReport {
@@ -56,6 +66,9 @@ struct FlowReport {
   /// Findings from all stage-boundary checks (empty at verify_level kOff;
   /// never contains errors — those abort the flow).
   verify::VerifyReport verify;
+  /// Trace spans + metrics of this run (empty unless FlowOptions::trace /
+  /// metrics were set; see docs/OBSERVABILITY.md).
+  obs::ObsReport obs;
 };
 
 /// Runs one flow (a or b) for one design on one PLB architecture.

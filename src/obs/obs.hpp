@@ -1,0 +1,231 @@
+#pragma once
+/// \file obs.hpp
+/// Flow-wide observability: RAII spans, named metrics, Chrome-trace export.
+///
+/// The flow's quality/runtime trade-offs are invisible in the final report
+/// numbers alone; this subsystem records *how* each stage got there:
+///
+///   - Span      — RAII scoped timer; open spans nest, so the recorded set
+///                 forms a trace tree exportable to Chrome trace-event JSON
+///                 (load in chrome://tracing or https://ui.perfetto.dev).
+///   - Metrics   — named counters, gauges and log2-bucketed histograms with
+///                 thread-safe updates.
+///   - ObsContext / ScopedObs — one context per flow run, bound to the
+///                 current thread; instrumentation points anywhere in the
+///                 stack (obs::span-via-Span, obs::count, obs::observe,
+///                 obs::gauge) reach it through a thread-local pointer, so
+///                 stage APIs need no plumbing and concurrent flow runs on
+///                 separate threads never share trace state.
+///
+/// Zero overhead when disabled: with no context bound (or tracing/metrics
+/// off) every instrumentation point is a single thread-local load plus a
+/// branch — no clock read, no lock, no allocation. The naming scheme and the
+/// export formats are documented in docs/OBSERVABILITY.md.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vpga::obs {
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+/// One closed span. `depth` is the nesting level at open time (0 = root).
+struct SpanRecord {
+  std::string name;
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+  int depth = 0;
+};
+
+/// Collects spans of ONE thread's flow run. Not thread-safe by design: a
+/// Tracer belongs to the ObsContext bound to exactly one thread (metrics, by
+/// contrast, are thread-safe). Timestamps are steady-clock microseconds
+/// relative to construction.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  int open_span() { return depth_++; }
+  void close_span(std::string name, std::int64_t start_us, int depth) {
+    --depth_;
+    spans_.push_back({std::move(name), start_us, now_us() - start_us, depth});
+  }
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;  // in close order; reports re-sort by start
+  int depth_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Histograms use log2 buckets: bucket 0 holds v <= 1, bucket i holds
+/// 2^(i-1) < v <= 2^i, the last bucket overflows to infinity.
+inline constexpr int kHistogramBuckets = 40;
+int histogram_bucket(double v);
+/// Inclusive upper bound of bucket `i` (infinity for the last bucket).
+double histogram_bucket_bound(int i);
+
+struct HistogramData {
+  long long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<long long> buckets;  // kHistogramBuckets entries once non-empty
+};
+
+/// Named counters/gauges/histograms. All updates take one uncontended mutex;
+/// safe to share across threads (each flow run normally has its own registry,
+/// but nothing breaks if a future driver shares one).
+class MetricsRegistry {
+ public:
+  void add(std::string_view name, long long delta);
+  void set_gauge(std::string_view name, double value);
+  void observe(std::string_view name, double value);
+
+  [[nodiscard]] long long counter(std::string_view name) const;
+
+  // Snapshots (sorted by name).
+  [[nodiscard]] std::vector<std::pair<std::string, long long>> counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramData>> histograms() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, long long, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, HistogramData, std::less<>> histograms_;
+};
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// Immutable snapshot of one context, carried in flow::FlowReport::obs.
+struct ObsReport {
+  bool trace_enabled = false;
+  bool metrics_enabled = false;
+  std::vector<SpanRecord> spans;  // sorted by (start_us, depth)
+  std::vector<std::pair<std::string, long long>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  [[nodiscard]] int span_count(std::string_view name) const;
+  [[nodiscard]] bool has_span(std::string_view name) const { return span_count(name) > 0; }
+  /// Value of a counter, 0 when absent.
+  [[nodiscard]] long long counter(std::string_view name) const;
+  /// Histogram by name, nullptr when absent.
+  [[nodiscard]] const HistogramData* histogram(std::string_view name) const;
+
+  /// Chrome trace-event JSON ("X" complete events) for chrome://tracing or
+  /// Perfetto.
+  [[nodiscard]] std::string chrome_trace_json() const;
+  /// All counters/gauges/histograms as one JSON object.
+  [[nodiscard]] std::string metrics_json() const;
+};
+
+// ---------------------------------------------------------------------------
+// Context binding
+// ---------------------------------------------------------------------------
+
+/// One flow run's trace + metrics. Bind with ScopedObs; instrumentation
+/// points below reach the bound context through a thread-local pointer.
+class ObsContext {
+ public:
+  ObsContext(bool trace, bool metrics) : trace_(trace), metrics_(metrics) {}
+
+  [[nodiscard]] bool trace_on() const { return trace_; }
+  [[nodiscard]] bool metrics_on() const { return metrics_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_registry_; }
+
+  [[nodiscard]] ObsReport report() const;
+
+ private:
+  bool trace_;
+  bool metrics_;
+  Tracer tracer_;
+  MetricsRegistry metrics_registry_;
+};
+
+/// The context bound to the calling thread (nullptr = instrumentation off).
+ObsContext* current();
+
+/// RAII binding of a context to the current thread; restores the previous
+/// binding on destruction, so contexts nest.
+class ScopedObs {
+ public:
+  explicit ScopedObs(ObsContext* ctx);
+  ~ScopedObs();
+  ScopedObs(const ScopedObs&) = delete;
+  ScopedObs& operator=(const ScopedObs&) = delete;
+
+ private:
+  ObsContext* prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Instrumentation points
+// ---------------------------------------------------------------------------
+
+/// RAII scoped timer. No-op (no clock read, no allocation) when the current
+/// thread has no trace-enabled context.
+class Span {
+ public:
+  explicit Span(std::string_view name) {
+    ObsContext* c = current();
+    if (c == nullptr || !c->trace_on()) return;
+    tracer_ = &c->tracer();
+    name_ = name;
+    depth_ = tracer_->open_span();
+    start_us_ = tracer_->now_us();
+  }
+  ~Span() {
+    if (tracer_ != nullptr) tracer_->close_span(std::move(name_), start_us_, depth_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::string name_;
+  std::int64_t start_us_ = 0;
+  int depth_ = 0;
+};
+
+/// Adds to a named counter (no-op without a metrics-enabled context).
+inline void count(std::string_view name, long long delta = 1) {
+  ObsContext* c = current();
+  if (c != nullptr && c->metrics_on()) c->metrics().add(name, delta);
+}
+
+/// Sets a named gauge to its latest value.
+inline void gauge(std::string_view name, double value) {
+  ObsContext* c = current();
+  if (c != nullptr && c->metrics_on()) c->metrics().set_gauge(name, value);
+}
+
+/// Records one observation into a named histogram.
+inline void observe(std::string_view name, double value) {
+  ObsContext* c = current();
+  if (c != nullptr && c->metrics_on()) c->metrics().observe(name, value);
+}
+
+}  // namespace vpga::obs

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/assert.hpp"
+#include "obs/obs.hpp"
 
 namespace vpga::pack {
 namespace {
@@ -124,6 +125,7 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
   out.tile_of_node.assign(nl.num_nodes(), -1);
 
   const auto groups = build_groups(nl);
+  obs::count("pack.groups", static_cast<long long>(groups.size()));
 
   const int lower_bound = std::max(1, first_fit_tile_count(nl, arch));
   int target_tiles = std::max(
@@ -139,6 +141,7 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
   for (;; target_tiles = std::max(target_tiles + 1,
                                   static_cast<int>(target_tiles * 1.06)),
           ++out.grow_attempts) {
+    const obs::Span attempt_span("pack.attempt");
     const int gw = std::max(1, static_cast<int>(std::ceil(std::sqrt(target_tiles))));
     const int gh = (target_tiles + gw - 1) / gw;
     std::vector<Tile> tiles(static_cast<std::size_t>(gw) * gh);
@@ -238,7 +241,10 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
     Region root{0, 0, gw, gh, {}};
     root.items.resize(groups.size());
     for (std::size_t i = 0; i < groups.size(); ++i) root.items[i] = i;
-    quadrisect(quadrisect, std::move(root));
+    {
+      const obs::Span quad_span("pack.quadrisect");
+      quadrisect(quadrisect, std::move(root));
+    }
 
     // --- leaf filling + spiral relocation for overflow -----------------------
     bool ok = true;
@@ -278,20 +284,24 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
       return false;
     };
     constexpr std::size_t kBigFootprint = 3;  // >= XOANDMX / FA class
-    for (const bool big_phase : {true, false}) {
-      std::vector<std::size_t> overflow;
-      for (const auto& leaf : leaves)
-        for (auto gi : leaf.items) {
-          if ((footprint(gi) >= kBigFootprint) != big_phase) continue;
-          if (!try_place(gi, leaf.x0, leaf.y0)) overflow.push_back(gi);
-        }
-      std::sort(overflow.begin(), overflow.end(), [&](std::size_t a, std::size_t b) {
-        if (footprint(a) != footprint(b)) return footprint(a) > footprint(b);
-        return group_criticality(groups[a]) > group_criticality(groups[b]);
-      });
-      for (auto gi : overflow)
-        if (!spiral_place(gi)) { ok = false; break; }
-      if (!ok) break;
+    {
+      const obs::Span fill_span("pack.fill");
+      for (const bool big_phase : {true, false}) {
+        std::vector<std::size_t> overflow;
+        for (const auto& leaf : leaves)
+          for (auto gi : leaf.items) {
+            if ((footprint(gi) >= kBigFootprint) != big_phase) continue;
+            if (!try_place(gi, leaf.x0, leaf.y0)) overflow.push_back(gi);
+          }
+        std::sort(overflow.begin(), overflow.end(), [&](std::size_t a, std::size_t b) {
+          if (footprint(a) != footprint(b)) return footprint(a) > footprint(b);
+          return group_criticality(groups[a]) > group_criticality(groups[b]);
+        });
+        obs::count("pack.spiral_relocations", static_cast<long long>(overflow.size()));
+        for (auto gi : overflow)
+          if (!spiral_place(gi)) { ok = false; break; }
+        if (!ok) break;
+      }
     }
     if (!ok) continue;  // grow the array and retry
 
@@ -318,6 +328,7 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
       const double dx = center.x - out.legal.pos[id.index()].x;
       const double dy = center.y - out.legal.pos[id.index()].y;
       const double d = std::sqrt(dx * dx + dy * dy);
+      obs::observe("pack.displacement_um", d);
       total_disp += d;
       max_disp = std::max(max_disp, d);
       out.legal.pos[id.index()] = center;
@@ -354,6 +365,7 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
             }
     }
     out.plbs_used = used;
+    obs::count("pack.grow_attempts", out.grow_attempts);
     for (int c = 0; c < core::kNumPlbComponents; ++c) {
       const int cap = used * arch.component_count[static_cast<std::size_t>(c)];
       out.slot_utilization[static_cast<std::size_t>(c)] =

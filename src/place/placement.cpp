@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/assert.hpp"
 #include "compact/compact.hpp"
+#include "obs/obs.hpp"
 
 namespace vpga::place {
 namespace {
@@ -78,7 +80,9 @@ Placement place(const Netlist& nl, const PlacerOptions& opts, const library::Cel
 
   // Force-directed median sweeps: each cell moves to the mean of its
   // neighbors, then a per-row spreading pass removes pile-ups.
+  std::optional<obs::Span> sweep_span(std::in_place, "place.median_sweeps");
   for (int sweep = 0; sweep < opts.median_sweeps; ++sweep) {
+    obs::count("place.median_sweeps");
     for (NodeId id : cells) {
       const auto& nbrs = adj[id.index()];
       if (nbrs.empty()) continue;
@@ -106,6 +110,9 @@ Placement place(const Netlist& nl, const PlacerOptions& opts, const library::Cel
                                    (r + 0.5) * pitch_y};
     }
   }
+
+  sweep_span.reset();
+  const obs::Span anneal_span("place.anneal");
 
   // Simulated-annealing refinement on a slot grid with a shrinking move
   // window (VPR-style). Cells sit on grid slots; a move swaps a random cell
@@ -152,7 +159,9 @@ Placement place(const Netlist& nl, const PlacerOptions& opts, const library::Cel
   double window = std::max(rows, cols) / 2.0;
   const double window_cooling =
       moves > 0 ? std::pow(1.5 / std::max(1.5, window), 1.0 / static_cast<double>(moves)) : 1.0;
+  long long sa_attempted = 0, sa_accepted = 0;  // counted once after the loop
   for (std::size_t mv = 0; mv < moves; ++mv, temperature *= cooling, window *= window_cooling) {
+    ++sa_attempted;
     const std::uint32_t a = cells[rng.next_below(cells.size())].value();
     const int sa_slot = slot_of_node[a];
     const int w = std::max(1, static_cast<int>(window));
@@ -170,6 +179,7 @@ Placement place(const Netlist& nl, const PlacerOptions& opts, const library::Cel
     const double delta = after - before;
     if (delta <= 0.0 || rng.next_double() < std::exp(-delta / std::max(1e-9, temperature))) {
       // accept: commit slot bookkeeping
+      ++sa_accepted;
       node_of_slot[static_cast<std::size_t>(sa_slot)] = b;
       node_of_slot[static_cast<std::size_t>(target)] = static_cast<std::int32_t>(a);
       slot_of_node[a] = target;
@@ -179,6 +189,8 @@ Placement place(const Netlist& nl, const PlacerOptions& opts, const library::Cel
       if (b >= 0) p.pos[static_cast<std::uint32_t>(b)] = slot_center(target);
     }
   }
+  obs::count("place.sa_moves", sa_attempted);
+  obs::count("place.sa_accepted", sa_accepted);
   return p;
 }
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <queue>
 
 #include "common/assert.hpp"
+#include "obs/obs.hpp"
 
 namespace vpga::route {
 namespace {
@@ -152,6 +154,7 @@ RoutingResult route(const Netlist& nl, const place::Placement& placed, double ti
   // Net decomposition: minimum spanning tree over {driver, sinks} (Prim,
   // Manhattan metric) — close to a Steiner topology for the small post-
   // buffering fanouts and far shorter than a star for multi-sink nets.
+  std::optional<obs::Span> decompose_span(std::in_place, "route.decompose");
   std::vector<std::vector<std::uint32_t>> sinks(nl.num_nodes());
   for (NodeId id : nl.all_nodes()) {
     const auto& n = nl.node(id);
@@ -209,32 +212,46 @@ RoutingResult route(const Netlist& nl, const place::Placement& placed, double ti
     return std::abs(a.x1 - a.x0) + std::abs(a.y1 - a.y0) >
            std::abs(b.x1 - b.x0) + std::abs(b.y1 - b.y0);
   });
+  decompose_span.reset();
+  long long nets = 0;
+  for (const auto& net : sinks) nets += net.empty() ? 0 : 1;
+  obs::count("route.nets", nets);
+  obs::count("route.connections", static_cast<long long>(pins.size()));
 
   UsageGrid grid(r.grid_w, r.grid_h);
   std::vector<char> x_first(pins.size(), 1);
-  for (std::size_t i = 0; i < pins.size(); ++i) {
-    const int px = probe_l(grid, pins[i], true);
-    const int py = probe_l(grid, pins[i], false);
-    x_first[i] = px <= py ? 1 : 0;
-    walk_l(grid, pins[i], x_first[i] != 0, +1);
+  {
+    const obs::Span initial_span("route.initial");
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      const int px = probe_l(grid, pins[i], true);
+      const int py = probe_l(grid, pins[i], false);
+      x_first[i] = px <= py ? 1 : 0;
+      walk_l(grid, pins[i], x_first[i] != 0, +1);
+    }
   }
 
   // Negotiation: rip up connections through overloaded edges and re-choose
   // the orientation under the updated congestion picture.
-  for (int iter = 0; iter < opts.ripup_iterations; ++iter) {
-    bool any = false;
-    for (std::size_t i = 0; i < pins.size(); ++i) {
-      const int current = probe_l(grid, pins[i], x_first[i] != 0);
-      if (current <= opts.capacity_per_edge) continue;
-      walk_l(grid, pins[i], x_first[i] != 0, -1);
-      const int px = probe_l(grid, pins[i], true);
-      const int py = probe_l(grid, pins[i], false);
-      const char nf = px <= py ? 1 : 0;
-      any = any || nf != x_first[i];
-      x_first[i] = nf;
-      walk_l(grid, pins[i], x_first[i] != 0, +1);
+  {
+    const obs::Span negotiate_span("route.negotiate");
+    long long ripups = 0;  // counted once below
+    for (int iter = 0; iter < opts.ripup_iterations; ++iter) {
+      bool any = false;
+      for (std::size_t i = 0; i < pins.size(); ++i) {
+        const int current = probe_l(grid, pins[i], x_first[i] != 0);
+        if (current <= opts.capacity_per_edge) continue;
+        ++ripups;
+        walk_l(grid, pins[i], x_first[i] != 0, -1);
+        const int px = probe_l(grid, pins[i], true);
+        const int py = probe_l(grid, pins[i], false);
+        const char nf = px <= py ? 1 : 0;
+        any = any || nf != x_first[i];
+        x_first[i] = nf;
+        walk_l(grid, pins[i], x_first[i] != 0, +1);
+      }
+      if (!any) break;
     }
-    if (!any) break;
+    obs::count("route.ripups", ripups);
   }
 
   // Final repair: connections still riding overloaded edges abandon their
@@ -243,9 +260,12 @@ RoutingResult route(const Netlist& nl, const place::Placement& placed, double ti
   for (std::size_t i = 0; i < pins.size(); ++i)
     edges_of[i] = std::abs(pins[i].x1 - pins[i].x0) + std::abs(pins[i].y1 - pins[i].y0);
   if (opts.ripup_iterations > 0) {
+    const obs::Span repair_span("route.maze_repair");
+    long long maze_routes = 0;  // counted once below
     for (std::size_t i = 0; i < pins.size(); ++i) {
       if (probe_l(grid, pins[i], x_first[i] != 0) <= opts.capacity_per_edge) continue;
       walk_l(grid, pins[i], x_first[i] != 0, -1);
+      ++maze_routes;
       const int detour = maze_route(grid, pins[i], opts.capacity_per_edge);
       if (detour >= 0) {
         edges_of[i] = detour;
@@ -253,6 +273,7 @@ RoutingResult route(const Netlist& nl, const place::Placement& placed, double ti
         walk_l(grid, pins[i], x_first[i] != 0, +1);  // restore; keep the L
       }
     }
+    obs::count("route.maze_routes", maze_routes);
   }
 
   // Statistics and per-net lengths.
@@ -273,6 +294,8 @@ RoutingResult route(const Netlist& nl, const place::Placement& placed, double ti
   }
   r.overflow_edges = overflow;
   r.peak_congestion = static_cast<double>(peak) / std::max(1, opts.capacity_per_edge);
+  obs::count("route.overflow_edges", overflow);
+  obs::gauge("route.peak_congestion", r.peak_congestion);
   return r;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/obs.hpp"
 
 namespace vpga::synth {
 namespace {
@@ -102,6 +103,10 @@ CutDatabase::CutDatabase(const aig::Aig& g, int cut_limit) {
   }
   // Node 0 (constant): single trivial cut so lookups are total.
   cuts_[0].push_back(trivial_cut(0));
+
+  long long total = 0;
+  for (const auto& set : cuts_) total += static_cast<long long>(set.size());
+  obs::count("map.cuts_enumerated", total);
 }
 
 }  // namespace vpga::synth

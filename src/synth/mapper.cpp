@@ -6,6 +6,7 @@
 #include "aig/aig.hpp"
 #include "common/assert.hpp"
 #include "core/config.hpp"
+#include "obs/obs.hpp"
 #include "synth/cuts.hpp"
 
 namespace vpga::synth {
@@ -68,6 +69,7 @@ MapTarget config_target(const core::PlbArchitecture& arch, const library::CellLi
 MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
                    Objective objective, int cut_limit) {
   VPGA_ASSERT_MSG(!target.options.empty(), "mapping target has no options");
+  const obs::Span map_span("map.tech_map");
   const auto m = aig::from_netlist(src);
   const aig::Aig& g = m.aig;
   const CutDatabase cuts(g, cut_limit);
@@ -93,6 +95,7 @@ MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
   std::vector<char> needed(g.num_nodes(), 0);
 
   // Dynamic program over AND nodes (node indices are topological).
+  long long match_attempts = 0;  // accumulated locally, counted once below
   auto run_dp = [&] {
     for (std::uint32_t n = 1; n < g.num_nodes(); ++n) {
       if (!g.node(n).is_and) continue;
@@ -112,6 +115,7 @@ MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
         }
         for (int oi = 0; oi < static_cast<int>(target.options.size()); ++oi) {
           const MatchOption& opt = target.options[static_cast<std::size_t>(oi)];
+          ++match_attempts;
           if (!opt.coverage.test(c.tt)) continue;
           Choice cand;
           cand.cut = ci;
@@ -159,6 +163,7 @@ MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
 
   constexpr int kRounds = 3;
   for (int round = 0; round < kRounds; ++round) {
+    obs::count("map.dp_rounds");
     run_dp();
     extract_cover();
     if (round + 1 == kRounds) break;
@@ -260,6 +265,8 @@ MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
     }
     result.stats.depth = depth;
   }
+  obs::count("map.match_attempts", match_attempts);
+  obs::count("map.nodes_emitted", result.stats.nodes);
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "core/config.hpp"
+#include "obs/obs.hpp"
 
 namespace vpga::timing {
 namespace {
@@ -47,6 +48,8 @@ NodeTiming timing_of(const Netlist& nl, NodeId id, const library::CellLibrary& l
 
 TimingReport analyze(const Netlist& nl, const place::Placement& placed,
                      const StaOptions& opts, const library::CellLibrary& lib) {
+  const obs::Span span("sta.analyze");
+  obs::count("sta.analyses");
   const double T = opts.clock_period_ps;
   const auto& proc = opts.process;
 
@@ -86,6 +89,7 @@ TimingReport analyze(const Netlist& nl, const place::Placement& placed,
   for (NodeId ff : nl.dffs())
     arrival[ff.index()] = nt[ff.index()].arc.delay(load_ff[ff.index()]);
   const auto order = nl.topo_order();
+  obs::count("sta.arrival_propagations", static_cast<long long>(order.size()));
   for (NodeId id : order) {
     const auto& n = nl.node(id);
     double in_arr = 0.0;

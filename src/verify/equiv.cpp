@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "netlist/bitsim.hpp"
+#include "obs/obs.hpp"
 
 namespace vpga::verify {
 
@@ -59,6 +60,7 @@ void check_equivalence(const Netlist& golden, const Netlist& revised,
   common::Rng rng(opts.seed);
 
   for (int cycle = 0; cycle < opts.cycles; ++cycle) {
+    obs::count("verify.equiv.vectors", 64);  // one 64-wide pattern word per cycle
     for (std::size_t i = 0; i < golden.inputs().size(); ++i) {
       const std::uint64_t w = rng.next_u64();
       sa.set_input(i, w);

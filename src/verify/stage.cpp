@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/vias.hpp"
+#include "obs/obs.hpp"
 #include "synth/mapper.hpp"
 
 namespace vpga::verify {
@@ -185,6 +187,64 @@ void check_post_pack(const Netlist& nl, const pack::PackedDesign& packed,
                      std::to_string(contents.size()) +
                      " configurations exceeding one " + arch.name + " tile");
   }
+}
+
+void check_post_route(const Netlist& nl, const pack::PackedDesign& packed,
+                      const PlbArchitecture& arch, const std::string& stage,
+                      VerifyReport& report) {
+  if (packed.tile_of_node.size() != nl.num_nodes()) return;  // reported post-pack
+  const int tiles = packed.grid_w * packed.grid_h;
+  if (tiles <= 0) return;
+  const int budget = core::potential_via_sites(arch);
+
+  auto tile_of = [&](NodeId id) {
+    const int t = packed.tile_of_node[id.index()];
+    return t >= 0 && t < tiles ? t : -1;
+  };
+
+  // Configuration vias: each placed instance programs vias_for_config() sites
+  // in its tile; a macro's combined configuration is programmed once, in the
+  // representative's tile.
+  std::vector<long long> usage(static_cast<std::size_t>(tiles), 0);
+  for (NodeId id : nl.all_nodes()) {
+    const Node& n = nl.node(id);
+    if (n.in_macro() && n.macro_rep != id) continue;
+    const int tile = tile_of(id);
+    if (tile < 0) continue;
+    if (n.type == NodeType::kDff)
+      usage[static_cast<std::size_t>(tile)] += core::vias_for_config(ConfigKind::kFf);
+    else if (n.type == NodeType::kComb && n.has_config() &&
+             n.config_tag < core::kNumConfigKinds)
+      usage[static_cast<std::size_t>(tile)] +=
+          core::vias_for_config(static_cast<ConfigKind>(n.config_tag));
+  }
+
+  // Routing-tap vias: a connection leaving its driver's tile taps up to the
+  // routing layers at the driver and back down at the sink — one candidate
+  // site consumed in each tile it terminates in.
+  for (NodeId id : nl.all_nodes()) {
+    const int sink_tile = tile_of(id);
+    if (sink_tile < 0) continue;
+    for (NodeId fi : nl.node(id).fanins) {
+      if (!in_range(nl, fi)) continue;
+      const int driver_tile = tile_of(fi);
+      if (driver_tile < 0 || driver_tile == sink_tile) continue;
+      ++usage[static_cast<std::size_t>(sink_tile)];
+      ++usage[static_cast<std::size_t>(driver_tile)];
+    }
+  }
+
+  long long overruns = 0;
+  for (int tile = 0; tile < tiles; ++tile) {
+    const long long used = usage[static_cast<std::size_t>(tile)];
+    if (used <= budget) continue;
+    ++overruns;
+    report.add(Severity::kError, "route.via-budget", stage, NodeId{},
+               "tile " + std::to_string(tile) + " needs " + std::to_string(used) +
+                   " vias but one " + arch.name + " tile provides only " +
+                   std::to_string(budget) + " candidate sites");
+  }
+  obs::count("verify.via_budget.overruns", overruns);
 }
 
 }  // namespace vpga::verify

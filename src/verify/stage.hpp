@@ -27,6 +27,11 @@
 ///   pack.tile-bounds           a tile index is outside the grid
 ///   pack.capacity              a tile's occupants exceed its component slots
 ///   pack.macro-split           members of one macro landed in several tiles
+///
+/// post-route (routed PLB array):
+///   route.via-budget           a tile's configuration vias plus routing-tap
+///                              vias exceed its candidate via sites
+///                              (core/vias.cpp potential_via_sites)
 
 #include "core/plb.hpp"
 #include "netlist/netlist.hpp"
@@ -51,5 +56,12 @@ void check_post_compact(const netlist::Netlist& nl, const core::PlbArchitecture&
 void check_post_pack(const netlist::Netlist& nl, const pack::PackedDesign& packed,
                      const core::PlbArchitecture& arch, const std::string& stage,
                      VerifyReport& report);
+
+/// Via-budget legality of the routed array: each tile's programmed
+/// configuration vias plus one tap via per net connection crossing its
+/// boundary must fit within the tile's candidate via sites.
+void check_post_route(const netlist::Netlist& nl, const pack::PackedDesign& packed,
+                      const core::PlbArchitecture& arch, const std::string& stage,
+                      VerifyReport& report);
 
 }  // namespace vpga::verify

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
+#include "obs/obs.hpp"
 
 namespace vpga::verify {
 
@@ -13,6 +14,7 @@ const char* to_string(Stage s) {
     case Stage::kPostCompact: return "post-compact";
     case Stage::kPostBuffer: return "post-buffer";
     case Stage::kPostPack: return "post-pack";
+    case Stage::kPostRoute: return "post-route";
   }
   return "?";
 }
@@ -24,6 +26,8 @@ VerifyReport FlowVerifier::check(Stage stage, const netlist::Netlist& nl,
   if (opts_.level == VerifyLevel::kOff) return local;
 
   const std::string name = to_string(stage);
+  const obs::Span span("verify." + name);
+  obs::count("verify.checks");
   lint_netlist(nl, name, local);
 
   switch (stage) {
@@ -41,6 +45,10 @@ VerifyReport FlowVerifier::check(Stage stage, const netlist::Netlist& nl,
       VPGA_ASSERT_MSG(packed != nullptr, "post-pack check needs the PackedDesign");
       check_post_pack(nl, *packed, arch_, name, local);
       break;
+    case Stage::kPostRoute:
+      VPGA_ASSERT_MSG(packed != nullptr, "post-route check needs the PackedDesign");
+      check_post_route(nl, *packed, arch_, name, local);
+      break;
   }
 
   // The equivalence gate needs a valid topological order, so it only runs on
@@ -49,8 +57,11 @@ VerifyReport FlowVerifier::check(Stage stage, const netlist::Netlist& nl,
       stage != Stage::kInput && !local.has_errors())
     check_equivalence(*golden, nl, name, local, opts_.equiv);
 
-  for (const auto& d : local.diagnostics())
+  obs::count("verify.findings", static_cast<long long>(local.diagnostics().size()));
+  for (const auto& d : local.diagnostics()) {
+    if (d.severity == Severity::kError) obs::count("verify.errors");
     report_.add(d.severity, d.rule, d.stage, d.node, d.message);
+  }
   return local;
 }
 

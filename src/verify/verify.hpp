@@ -39,6 +39,7 @@ enum class Stage : std::uint8_t {
   kPostCompact,  ///< after regularity-driven compaction into configurations
   kPostBuffer,   ///< after high-fanout buffering (physical synthesis)
   kPostPack,     ///< after legalization into the PLB array (flow b)
+  kPostRoute,    ///< after routing over the array (flow b via-budget gate)
 };
 const char* to_string(Stage s);
 
@@ -56,7 +57,7 @@ class FlowVerifier {
   /// Checks one stage boundary and returns the findings of *this call*
   /// (also accumulated into report()). `golden` enables the equivalence gate
   /// (ignored below kLintEquiv or when the lint found errors); `packed` is
-  /// required at kPostPack.
+  /// required at kPostPack and kPostRoute.
   VerifyReport check(Stage stage, const netlist::Netlist& nl,
                      const netlist::Netlist* golden = nullptr,
                      const pack::PackedDesign* packed = nullptr);

@@ -1,0 +1,335 @@
+// Tests for src/obs/: span nesting and trace export, metrics math, the
+// zero-overhead disabled path, the JSON parser, and the flow-level contract
+// that every stage of either flow records exactly the expected spans.
+
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "designs/designs.hpp"
+#include "flow/flow.hpp"
+#include "obs/json.hpp"
+
+// Global allocation counter for the disabled-overhead test. Safe here: each
+// test source is its own binary, so this override cannot leak elsewhere.
+namespace {
+std::atomic<long long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vpga::obs {
+namespace {
+
+// --- Spans and trace export -------------------------------------------------
+
+TEST(Span, RecordsNestingDepthAndOrder) {
+  ObsContext ctx(/*trace=*/true, /*metrics=*/false);
+  {
+    const ScopedObs bind(&ctx);
+    const Span outer("outer");
+    {
+      const Span inner_a("inner_a");
+    }
+    {
+      const Span inner_b("inner_b");
+      const Span leaf("leaf");
+    }
+  }
+  const ObsReport rep = ctx.report();
+  ASSERT_EQ(rep.spans.size(), 4u);
+  // Sorted by start time: outer first despite closing last.
+  EXPECT_EQ(rep.spans[0].name, "outer");
+  EXPECT_EQ(rep.spans[0].depth, 0);
+  EXPECT_EQ(rep.spans[1].name, "inner_a");
+  EXPECT_EQ(rep.spans[1].depth, 1);
+  EXPECT_EQ(rep.spans[2].name, "inner_b");
+  EXPECT_EQ(rep.spans[2].depth, 1);
+  EXPECT_EQ(rep.spans[3].name, "leaf");
+  EXPECT_EQ(rep.spans[3].depth, 2);
+  // Children are contained in their parents.
+  for (int child : {1, 2}) {
+    EXPECT_GE(rep.spans[child].start_us, rep.spans[0].start_us);
+    EXPECT_LE(rep.spans[child].start_us + rep.spans[child].dur_us,
+              rep.spans[0].start_us + rep.spans[0].dur_us);
+  }
+  EXPECT_EQ(rep.span_count("inner_a"), 1);
+  EXPECT_TRUE(rep.has_span("leaf"));
+  EXPECT_FALSE(rep.has_span("nonexistent"));
+}
+
+TEST(Span, ChromeTraceJsonParsesBack) {
+  ObsContext ctx(true, false);
+  {
+    const ScopedObs bind(&ctx);
+    const Span outer("outer \"quoted\"\n");
+    const Span inner("inner");
+  }
+  const std::string trace = ctx.report().chrome_trace_json();
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(trace, v, &err)) << err << "\n" << trace;
+  ASSERT_TRUE(v.is_object());
+  const json::Value* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+  const json::Value& first = events->array[0];
+  EXPECT_EQ(first.find("name")->string, "outer \"quoted\"\n");
+  EXPECT_EQ(first.find("ph")->string, "X");
+  EXPECT_GE(first.find("dur")->number, 0.0);
+  EXPECT_EQ(first.find("args")->find("depth")->number, 0.0);
+  EXPECT_EQ(events->array[1].find("args")->find("depth")->number, 1.0);
+}
+
+TEST(Span, NoContextIsANoOp) {
+  // Must not crash nor record anything, with or without a disabled context.
+  const Span orphan("orphan");
+  count("orphan.counter");
+  ObsContext ctx(false, false);
+  const ScopedObs bind(&ctx);
+  const Span disabled("disabled");
+  count("disabled.counter", 5);
+  const ObsReport rep = ctx.report();
+  EXPECT_TRUE(rep.spans.empty());
+  EXPECT_TRUE(rep.counters.empty());
+}
+
+TEST(Span, ScopedObsRestoresPreviousBinding) {
+  ObsContext outer_ctx(true, false);
+  const ScopedObs outer_bind(&outer_ctx);
+  {
+    ObsContext inner_ctx(true, false);
+    const ScopedObs inner_bind(&inner_ctx);
+    EXPECT_EQ(current(), &inner_ctx);
+  }
+  EXPECT_EQ(current(), &outer_ctx);
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(Metrics, CountersAccumulateAndGaugesKeepLatest) {
+  ObsContext ctx(false, true);
+  const ScopedObs bind(&ctx);
+  count("c.hits");
+  count("c.hits", 4);
+  count("c.other", 2);
+  gauge("g.v", 1.5);
+  gauge("g.v", 2.5);
+  const ObsReport rep = ctx.report();
+  EXPECT_EQ(rep.counter("c.hits"), 5);
+  EXPECT_EQ(rep.counter("c.other"), 2);
+  EXPECT_EQ(rep.counter("absent"), 0);
+  ASSERT_EQ(rep.gauges.size(), 1u);
+  EXPECT_EQ(rep.gauges[0].first, "g.v");
+  EXPECT_DOUBLE_EQ(rep.gauges[0].second, 2.5);
+}
+
+TEST(Metrics, HistogramTracksCountSumMinMaxAndBuckets) {
+  ObsContext ctx(false, true);
+  const ScopedObs bind(&ctx);
+  for (double v : {0.5, 1.0, 3.0, 1000.0}) observe("h", v);
+  const ObsReport rep = ctx.report();
+  const HistogramData* h = rep.histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4);
+  EXPECT_DOUBLE_EQ(h->sum, 1004.5);
+  EXPECT_DOUBLE_EQ(h->min, 0.5);
+  EXPECT_DOUBLE_EQ(h->max, 1000.0);
+  ASSERT_EQ(static_cast<int>(h->buckets.size()), kHistogramBuckets);
+  EXPECT_EQ(h->buckets[histogram_bucket(0.5)], 2);    // 0.5 and 1.0 share bucket 0
+  EXPECT_EQ(h->buckets[histogram_bucket(3.0)], 1);    // 2 < 3 <= 4
+  EXPECT_EQ(h->buckets[histogram_bucket(1000.0)], 1); // 512 < 1000 <= 1024
+  long long total = 0;
+  for (long long b : h->buckets) total += b;
+  EXPECT_EQ(total, h->count);
+}
+
+TEST(Metrics, HistogramBucketMath) {
+  EXPECT_EQ(histogram_bucket(0.0), 0);
+  EXPECT_EQ(histogram_bucket(1.0), 0);
+  EXPECT_EQ(histogram_bucket(1.5), 1);
+  EXPECT_EQ(histogram_bucket(2.0), 1);
+  EXPECT_EQ(histogram_bucket(2.1), 2);
+  EXPECT_EQ(histogram_bucket(4.0), 2);
+  EXPECT_EQ(histogram_bucket(1e30), kHistogramBuckets - 1);
+  EXPECT_DOUBLE_EQ(histogram_bucket_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_bucket_bound(3), 8.0);
+}
+
+TEST(Metrics, RegistryIsThreadSafe) {
+  ObsContext ctx(false, true);
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&ctx] {
+      const ScopedObs bind(&ctx);
+      for (int i = 0; i < kIncrements; ++i) count("shared");
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(ctx.report().counter("shared"), kThreads * kIncrements);
+}
+
+TEST(Metrics, MetricsJsonParsesBack) {
+  ObsContext ctx(false, true);
+  const ScopedObs bind(&ctx);
+  count("runs", 3);
+  gauge("peak", 0.75);
+  observe("sizes", 10.0);
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(ctx.report().metrics_json(), v, &err)) << err;
+  EXPECT_EQ(v.find("counters")->find("runs")->number, 3.0);
+  EXPECT_DOUBLE_EQ(v.find("gauges")->find("peak")->number, 0.75);
+  const json::Value* h = v.find("histograms")->find("sizes");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->number, 1.0);
+  EXPECT_EQ(h->find("buckets")->array.size(), static_cast<std::size_t>(kHistogramBuckets));
+}
+
+// --- Disabled-path overhead -------------------------------------------------
+
+TEST(Overhead, DisabledInstrumentationDoesNotAllocate) {
+  // Warm up any lazy thread-local initialization.
+  { const Span warmup("warmup"); }
+  count("warmup");
+
+  const long long before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    const Span s("hot.path.span");
+    count("hot.path.counter", i);
+    observe("hot.path.histogram", static_cast<double>(i));
+    gauge("hot.path.gauge", static_cast<double>(i));
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "instrumentation with no bound context must not allocate";
+
+  ObsContext off(false, false);
+  const ScopedObs bind(&off);
+  const long long before_off = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    const Span s("hot.path.span");
+    count("hot.path.counter", i);
+  }
+  EXPECT_EQ(g_allocations.load(), before_off)
+      << "instrumentation with a fully disabled context must not allocate";
+}
+
+// --- Flow integration -------------------------------------------------------
+
+designs::BenchmarkDesign small_design() {
+  return {designs::make_ripple_adder(8), 8000.0, true};
+}
+
+TEST(FlowObs, FlowBRecordsEveryStageSpan) {
+  flow::FlowOptions opts;
+  opts.trace = true;
+  opts.metrics = true;
+  opts.pack_timing_iterations = 2;
+  const auto rep =
+      flow::run_flow(small_design(), core::PlbArchitecture::granular(), 'b', opts);
+  EXPECT_TRUE(rep.obs.trace_enabled);
+  EXPECT_TRUE(rep.obs.metrics_enabled);
+  for (const char* stage : {"stage.verify", "stage.map", "stage.compact", "stage.buffer",
+                            "stage.place", "stage.route", "stage.sta"})
+    EXPECT_EQ(rep.obs.span_count(stage), 1) << stage;
+  EXPECT_EQ(rep.obs.span_count("stage.pack"), 2);  // one per pack<->STA iteration
+  EXPECT_EQ(rep.obs.counter("flow.pack_sta_iterations"), 2);
+
+  // Packing and routing internals appear as nested children (greater depth).
+  int stage_pack_depth = -1, stage_route_depth = -1;
+  for (const auto& s : rep.obs.spans) {
+    if (s.name == "stage.pack") stage_pack_depth = s.depth;
+    if (s.name == "stage.route") stage_route_depth = s.depth;
+  }
+  for (const char* child : {"pack.attempt", "pack.fill"}) {
+    ASSERT_TRUE(rep.obs.has_span(child)) << child;
+    for (const auto& s : rep.obs.spans)
+      if (s.name == child) EXPECT_GT(s.depth, stage_pack_depth) << child;
+  }
+  for (const char* child :
+       {"route.decompose", "route.initial", "route.negotiate", "route.maze_repair"}) {
+    ASSERT_TRUE(rep.obs.has_span(child)) << child;
+    for (const auto& s : rep.obs.spans)
+      if (s.name == child) EXPECT_GT(s.depth, stage_route_depth) << child;
+  }
+
+  // At least 10 distinct nonzero counters from the instrumented stages.
+  int nonzero = 0;
+  for (const auto& [name, value] : rep.obs.counters)
+    if (value > 0) ++nonzero;
+  EXPECT_GE(nonzero, 10);
+  EXPECT_NE(rep.obs.histogram("pack.displacement_um"), nullptr);
+
+  // Both export formats parse.
+  json::Value v;
+  std::string err;
+  EXPECT_TRUE(json::parse(rep.obs.chrome_trace_json(), v, &err)) << err;
+  EXPECT_TRUE(json::parse(rep.obs.metrics_json(), v, &err)) << err;
+}
+
+TEST(FlowObs, FlowAHasNoPackSpan) {
+  flow::FlowOptions opts;
+  opts.trace = true;
+  const auto rep =
+      flow::run_flow(small_design(), core::PlbArchitecture::lut_based(), 'a', opts);
+  EXPECT_EQ(rep.obs.span_count("stage.pack"), 0);
+  for (const char* stage :
+       {"stage.map", "stage.compact", "stage.place", "stage.route", "stage.sta"})
+    EXPECT_EQ(rep.obs.span_count(stage), 1) << stage;
+}
+
+TEST(FlowObs, DisabledRunCarriesNoObservability) {
+  const auto rep =
+      flow::run_flow(small_design(), core::PlbArchitecture::granular(), 'b', {});
+  EXPECT_FALSE(rep.obs.trace_enabled);
+  EXPECT_TRUE(rep.obs.spans.empty());
+  EXPECT_TRUE(rep.obs.counters.empty());
+}
+
+TEST(FlowObs, ParallelCompareMatchesSerial) {
+  const auto design = small_design();
+  flow::FlowOptions serial_opts;
+  serial_opts.metrics = true;
+  auto parallel_opts = serial_opts;
+  parallel_opts.parallel_compare = true;
+  const auto serial = flow::compare_architectures(design, serial_opts);
+  const auto parallel = flow::compare_architectures(design, parallel_opts);
+  const std::pair<const flow::FlowReport*, const flow::FlowReport*> runs[] = {
+      {&serial.granular_a, &parallel.granular_a},
+      {&serial.granular_b, &parallel.granular_b},
+      {&serial.lut_a, &parallel.lut_a},
+      {&serial.lut_b, &parallel.lut_b},
+  };
+  for (const auto& [s, p] : runs) {
+    EXPECT_EQ(s->arch, p->arch);
+    EXPECT_EQ(s->flow, p->flow);
+    EXPECT_DOUBLE_EQ(s->die_area_um2, p->die_area_um2);
+    EXPECT_DOUBLE_EQ(s->wirelength_um, p->wirelength_um);
+    EXPECT_DOUBLE_EQ(s->critical_delay_ps, p->critical_delay_ps);
+    EXPECT_DOUBLE_EQ(s->gate_count_nand2, p->gate_count_nand2);
+    EXPECT_EQ(s->plbs, p->plbs);
+    // Work counters are deterministic too: each parallel run bound its own
+    // ObsContext, so nothing bled between the four threads.
+    EXPECT_EQ(s->obs.counters, p->obs.counters);
+  }
+}
+
+}  // namespace
+}  // namespace vpga::obs

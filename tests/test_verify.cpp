@@ -7,12 +7,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <string>
+
 #include "compact/compact.hpp"
+#include "core/vias.hpp"
 #include "designs/designs.hpp"
 #include "flow/flow.hpp"
 #include "pack/packer.hpp"
 #include "place/placement.hpp"
 #include "synth/mapper.hpp"
+#include "verify/rules.hpp"
 
 namespace vpga::verify {
 namespace {
@@ -28,6 +35,20 @@ VerifyReport lint(const Netlist& nl) {
   VerifyReport r;
   lint_netlist(nl, "test", r);
   return r;
+}
+
+/// Rules positively fired by this binary's corruption tests. The catalogue
+/// coverage test (registered last, so it runs after every corruption test)
+/// checks this registry against verify::kRuleCatalogue.
+std::set<std::string, std::less<>>& fired_registry() {
+  static std::set<std::string, std::less<>> reg;
+  return reg;
+}
+
+/// Asserts `rule` fired and records it for the catalogue coverage test.
+void expect_fired(const VerifyReport& r, std::string_view rule) {
+  EXPECT_TRUE(r.fired(rule)) << "expected rule " << rule << "\n" << r.summary();
+  if (r.fired(rule)) fired_registry().insert(std::string(rule));
 }
 
 /// A small clean netlist every lint rule is exercised against. (The counter
@@ -51,7 +72,7 @@ TEST(Lint, DroppedFaninFiresArityMismatch) {
     }
   }
   const auto r = lint(nl);
-  EXPECT_TRUE(r.fired("lint.arity-mismatch")) << r.summary();
+  expect_fired(r, "lint.arity-mismatch");
   EXPECT_TRUE(r.has_errors());
 }
 
@@ -64,7 +85,7 @@ TEST(Lint, OutOfRangeFaninFiresInvalidFanin) {
       break;
     }
   }
-  EXPECT_TRUE(lint(nl).fired("lint.invalid-fanin"));
+  expect_fired(lint(nl), "lint.invalid-fanin");
 }
 
 TEST(Lint, ReadingAPrimaryOutputFiresOutputRead) {
@@ -77,7 +98,7 @@ TEST(Lint, ReadingAPrimaryOutputFiresOutputRead) {
       break;
     }
   }
-  EXPECT_TRUE(lint(nl).fired("lint.output-read"));
+  expect_fired(lint(nl), "lint.output-read");
 }
 
 TEST(Lint, BackEdgeFiresCombCycle) {
@@ -92,20 +113,20 @@ TEST(Lint, BackEdgeFiresCombCycle) {
   ASSERT_TRUE(early.valid() && late.valid() && early != late);
   nl.node(early).fanins[0] = late;
   nl.node(late).fanins[0] = early;
-  EXPECT_TRUE(lint(nl).fired("lint.comb-cycle"));
+  expect_fired(lint(nl), "lint.comb-cycle");
 }
 
 TEST(Lint, UnconnectedDffFiresUndrivenDff) {
   auto nl = good_netlist();
   nl.add_dff(NodeId{}, "orphan_ff");
-  EXPECT_TRUE(lint(nl).fired("lint.undriven-dff"));
+  expect_fired(lint(nl), "lint.undriven-dff");
 }
 
 TEST(Lint, FaninOnAnInputFiresIoBoundary) {
   auto nl = good_netlist();
   ASSERT_FALSE(nl.inputs().empty());
   nl.node(nl.inputs().front()).fanins.push_back(nl.inputs().front());
-  EXPECT_TRUE(lint(nl).fired("lint.io-boundary"));
+  expect_fired(lint(nl), "lint.io-boundary");
 }
 
 TEST(Lint, SharedNameFiresDuplicateNameWarning) {
@@ -115,7 +136,7 @@ TEST(Lint, SharedNameFiresDuplicateNameWarning) {
   (void)a;
   (void)b;
   const auto r = lint(nl);
-  EXPECT_TRUE(r.fired("lint.duplicate-name")) << r.summary();
+  expect_fired(r, "lint.duplicate-name");
   EXPECT_FALSE(r.has_errors()) << "duplicate names are a warning, not an error";
 }
 
@@ -124,7 +145,7 @@ TEST(Lint, DeadLogicFiresUnreachableWarning) {
   ASSERT_GE(nl.inputs().size(), 2u);
   nl.add_and(nl.inputs()[0], nl.inputs()[1]);  // feeds nothing
   const auto r = lint(nl);
-  EXPECT_TRUE(r.fired("lint.unreachable")) << r.summary();
+  expect_fired(r, "lint.unreachable");
   EXPECT_FALSE(r.has_errors());
 }
 
@@ -158,7 +179,7 @@ TEST(StageChecks, ClearedCellFiresUnmappedNode) {
   }
   VerifyReport r;
   check_post_map(s.mapped, s.arch, "post-map", r);
-  EXPECT_TRUE(r.fired("map.unmapped-node"));
+  expect_fired(r, "map.unmapped-node");
 }
 
 TEST(StageChecks, ForeignCellFiresIllegalCell) {
@@ -173,7 +194,7 @@ TEST(StageChecks, ForeignCellFiresIllegalCell) {
   }
   VerifyReport r;
   check_post_map(s.mapped, s.arch, "post-map", r);
-  EXPECT_TRUE(r.fired("map.illegal-cell"));
+  expect_fired(r, "map.illegal-cell");
 }
 
 TEST(StageChecks, SwappedTruthTableFiresCellFunctionMismatch) {
@@ -191,7 +212,7 @@ TEST(StageChecks, SwappedTruthTableFiresCellFunctionMismatch) {
   ASSERT_TRUE(corrupted) << "ALU mapping produced no 3-input ND3WI node";
   VerifyReport r;
   check_post_map(s.mapped, s.arch, "post-map", r);
-  EXPECT_TRUE(r.fired("map.cell-function-mismatch"));
+  expect_fired(r, "map.cell-function-mismatch");
 }
 
 NodeId first_configured(const Netlist& nl) {
@@ -209,7 +230,7 @@ TEST(StageChecks, ForgedConfigTagFiresBadConfigTag) {
   s.compacted.node(id).config_tag = 0xEE;  // names no ConfigKind
   VerifyReport r;
   check_post_compact(s.compacted, s.arch, "post-compact", r);
-  EXPECT_TRUE(r.fired("compact.bad-config-tag"));
+  expect_fired(r, "compact.bad-config-tag");
 }
 
 TEST(StageChecks, ForeignConfigFiresUnsupportedConfig) {
@@ -219,7 +240,7 @@ TEST(StageChecks, ForeignConfigFiresUnsupportedConfig) {
   s.compacted.node(id).config_tag = static_cast<std::uint8_t>(ConfigKind::kLut3);
   VerifyReport r;
   check_post_compact(s.compacted, s.arch, "post-compact", r);
-  EXPECT_TRUE(r.fired("compact.unsupported-config"));
+  expect_fired(r, "compact.unsupported-config");
 }
 
 TEST(StageChecks, UndersizedTileFiresConfigOverflow) {
@@ -234,7 +255,7 @@ TEST(StageChecks, UndersizedTileFiresConfigOverflow) {
   s.compacted.node(id).config_tag = static_cast<std::uint8_t>(ConfigKind::kXoamx);
   VerifyReport r;
   check_post_compact(s.compacted, tiny, "post-compact", r);
-  EXPECT_TRUE(r.fired("compact.config-overflow")) << r.summary();
+  expect_fired(r, "compact.config-overflow");
 }
 
 TEST(StageChecks, BrokenMacroGroupingFiresMacroRep) {
@@ -251,7 +272,7 @@ TEST(StageChecks, BrokenMacroGroupingFiresMacroRep) {
   ASSERT_TRUE(corrupted);
   VerifyReport r;
   check_post_compact(s.compacted, s.arch, "post-compact", r);
-  EXPECT_TRUE(r.fired("compact.macro-rep")) << r.summary();
+  expect_fired(r, "compact.macro-rep");
 }
 
 TEST(StageChecks, StrippedConfigFiresMissingConfig) {
@@ -262,7 +283,7 @@ TEST(StageChecks, StrippedConfigFiresMissingConfig) {
   s.compacted.node(id).cell.reset();
   VerifyReport r;
   check_post_compact(s.compacted, s.arch, "post-compact", r);
-  EXPECT_TRUE(r.fired("compact.missing-config"));
+  expect_fired(r, "compact.missing-config");
 }
 
 /// Packed fixture: the compacted design legalized into the granular array.
@@ -292,7 +313,7 @@ TEST(StageChecks, OutOfGridTileFiresTileBounds) {
   s.packed.tile_of_node[id.index()] = s.packed.grid_w * s.packed.grid_h + 7;
   VerifyReport r;
   check_post_pack(s.compacted, s.packed, s.arch, "post-pack", r);
-  EXPECT_TRUE(r.fired("pack.tile-bounds"));
+  expect_fired(r, "pack.tile-bounds");
 }
 
 TEST(StageChecks, DroppedAssignmentFiresUnassigned) {
@@ -302,7 +323,7 @@ TEST(StageChecks, DroppedAssignmentFiresUnassigned) {
   s.packed.tile_of_node[id.index()] = -1;
   VerifyReport r;
   check_post_pack(s.compacted, s.packed, s.arch, "post-pack", r);
-  EXPECT_TRUE(r.fired("pack.unassigned"));
+  expect_fired(r, "pack.unassigned");
 }
 
 TEST(StageChecks, OverstuffedTileFiresCapacity) {
@@ -314,7 +335,7 @@ TEST(StageChecks, OverstuffedTileFiresCapacity) {
   }
   VerifyReport r;
   check_post_pack(s.compacted, s.packed, s.arch, "post-pack", r);
-  EXPECT_TRUE(r.fired("pack.capacity"));
+  expect_fired(r, "pack.capacity");
 }
 
 TEST(StageChecks, SeparatedMacroMembersFireMacroSplit) {
@@ -333,7 +354,51 @@ TEST(StageChecks, SeparatedMacroMembersFireMacroSplit) {
   ASSERT_TRUE(corrupted) << "ALU compaction produced no full-adder macro";
   VerifyReport r;
   check_post_pack(s.compacted, s.packed, s.arch, "post-pack", r);
-  EXPECT_TRUE(r.fired("pack.macro-split"));
+  expect_fired(r, "pack.macro-split");
+}
+
+TEST(StageChecks, RoutedDesignWithinViaBudgetPasses) {
+  PackedStage s;
+  VerifyReport r;
+  check_post_route(s.compacted, s.packed, s.arch, "post-route", r);
+  EXPECT_EQ(r.error_count(), 0) << r.summary();
+}
+
+TEST(StageChecks, OverBudgetTileFiresViaBudget) {
+  PackedStage s;
+  // Cram every slot-consuming node into tile 0: its configuration vias alone
+  // (eight full adders at 13 vias each, plus DFF taps) exceed the candidate
+  // sites of a crippled single-MUX architecture (4 pins x 10 sources = 40).
+  for (NodeId id : s.compacted.all_nodes()) {
+    const auto& n = s.compacted.node(id);
+    if (n.type == NodeType::kDff || (n.type == NodeType::kComb && n.has_config()))
+      s.packed.tile_of_node[id.index()] = 0;
+  }
+  auto tiny = s.arch;
+  for (auto& c : tiny.component_count) c = 0;
+  tiny.component_count[static_cast<std::size_t>(core::PlbComponent::kMux)] = 1;
+  ASSERT_EQ(core::potential_via_sites(tiny), 40);
+  VerifyReport r;
+  check_post_route(s.compacted, s.packed, tiny, "post-route", r);
+  expect_fired(r, "route.via-budget");
+}
+
+TEST(StageChecks, FlowVerifierRoutesViaBudgetThroughPostRouteStage) {
+  PackedStage s;
+  for (NodeId id : s.compacted.all_nodes()) {
+    const auto& n = s.compacted.node(id);
+    if (n.type == NodeType::kDff || (n.type == NodeType::kComb && n.has_config()))
+      s.packed.tile_of_node[id.index()] = 0;
+  }
+  auto tiny = s.arch;
+  for (auto& c : tiny.component_count) c = 0;
+  tiny.component_count[static_cast<std::size_t>(core::PlbComponent::kMux)] = 1;
+  VerifyOptions opts;
+  FlowVerifier v(tiny, opts);
+  const auto r = v.check(Stage::kPostRoute, s.compacted, nullptr, &s.packed);
+  expect_fired(r, "route.via-budget");
+  for (const auto& d : r.diagnostics())
+    if (d.rule == "route.via-budget") EXPECT_EQ(d.stage, "post-route");
 }
 
 TEST(Equiv, ComplementedNodeFiresOutputDiverges) {
@@ -348,7 +413,8 @@ TEST(Equiv, ComplementedNodeFiresOutputDiverges) {
   }
   VerifyReport r;
   check_equivalence(golden, revised, "test", r);
-  ASSERT_TRUE(r.fired("equiv.output-diverges")) << r.summary();
+  expect_fired(r, "equiv.output-diverges");
+  ASSERT_FALSE(r.diagnostics().empty());
   // The diagnostic names the diverging cone.
   EXPECT_NE(r.diagnostics().front().message.find("cone"), std::string::npos);
 }
@@ -356,7 +422,7 @@ TEST(Equiv, ComplementedNodeFiresOutputDiverges) {
 TEST(Equiv, DifferentInterfacesFireInterfaceMismatch) {
   VerifyReport r;
   check_equivalence(designs::make_ripple_adder(4), designs::make_ripple_adder(8), "test", r);
-  EXPECT_TRUE(r.fired("equiv.interface-mismatch"));
+  expect_fired(r, "equiv.interface-mismatch");
 }
 
 TEST(Equiv, EquivalentNetlistsPass) {
@@ -401,6 +467,56 @@ TEST(FlowVerifier, BenchSuitePassesLintEquivCleanly) {
             << rep.verify.summary();
       }
     }
+  }
+}
+
+// --- Rule-catalogue audit ----------------------------------------------------
+// These two suites are registered last in this translation unit so they run
+// after every corruption test above has populated fired_registry() (gtest
+// runs suites in registration order unless shuffling is requested).
+
+// Every rule id in the canonical catalogue must have been exercised by a
+// seeded-corruption test in this file.
+TEST(RuleCatalogue, EveryRuleIsExercised) {
+  for (std::string_view rule : kRuleCatalogue) {
+    EXPECT_TRUE(fired_registry().count(rule) > 0)
+        << "rule " << rule << " is in kRuleCatalogue but no test in "
+        << "test_verify.cpp triggered it";
+  }
+  // And nothing fired that the catalogue does not know about.
+  for (const auto& fired : fired_registry()) {
+    EXPECT_TRUE(std::find(kRuleCatalogue.begin(), kRuleCatalogue.end(), fired) !=
+                kRuleCatalogue.end())
+        << "rule " << fired << " fired in tests but is missing from kRuleCatalogue";
+  }
+}
+
+// The docs table in docs/VERIFY.md must list exactly the catalogue: a rule
+// row is any table line whose first backticked token contains a '.'.
+TEST(RuleCatalogue, DocsTableMatchesCatalogue) {
+  std::ifstream in(VPGA_DOCS_DIR "/VERIFY.md");
+  if (!in.is_open()) GTEST_SKIP() << "docs/VERIFY.md not found next to the test sources";
+  std::set<std::string, std::less<>> documented;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto open = line.find('`');
+    if (open == std::string::npos || line.find('|') == std::string::npos) continue;
+    const auto close = line.find('`', open + 1);
+    if (close == std::string::npos) continue;
+    const std::string token = line.substr(open + 1, close - open - 1);
+    if (token.find('.') == std::string::npos) continue;
+    if (std::find(kRuleCatalogue.begin(), kRuleCatalogue.end(), token) !=
+        kRuleCatalogue.end())
+      documented.insert(token);
+    else if (token.find(' ') == std::string::npos && token.find('(') == std::string::npos &&
+             (token.rfind("lint.", 0) == 0 || token.rfind("map.", 0) == 0 ||
+              token.rfind("compact.", 0) == 0 || token.rfind("pack.", 0) == 0 ||
+              token.rfind("route.", 0) == 0 || token.rfind("equiv.", 0) == 0))
+      ADD_FAILURE() << "docs/VERIFY.md documents unknown rule id `" << token << "`";
+  }
+  for (std::string_view rule : kRuleCatalogue) {
+    EXPECT_TRUE(documented.count(rule) > 0)
+        << "rule " << rule << " is in kRuleCatalogue but has no row in docs/VERIFY.md";
   }
 }
 
