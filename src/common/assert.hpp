@@ -13,6 +13,8 @@ namespace vpga::common {
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {
+  // fabriclint: disable(io.stray-stream) -- the assert handler runs on the
+  // way to std::abort; stderr is the only sink that still exists.
   std::fprintf(stderr, "VPGA_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
                msg ? msg : "");
   std::abort();

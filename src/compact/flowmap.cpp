@@ -55,6 +55,7 @@ class CutFeasibility {
       }
     }
     std::vector<std::uint32_t> leaves;
+    // fabriclint: sorted-downstream -- leaves are sorted before returning.
     for (const auto& [node, vpair] : boundary_) {
       // Cut leaf: in-vertex reachable, out-vertex not (split edge saturated).
       if (reach[static_cast<std::size_t>(vpair.first)] &&

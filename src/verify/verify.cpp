@@ -67,6 +67,8 @@ VerifyReport FlowVerifier::check(Stage stage, const netlist::Netlist& nl,
 
 void enforce(const VerifyReport& report) {
   if (!report.has_errors()) return;  // warnings stay in the report, not on stderr
+  // fabriclint: disable(io.stray-stream) -- enforce() is the documented abort
+  // path: diagnostics must reach stderr before VPGA_ASSERT terminates.
   std::fputs(report.summary().c_str(), stderr);
   VPGA_ASSERT_MSG(!report.has_errors(), "flow verification failed (see diagnostics above)");
 }

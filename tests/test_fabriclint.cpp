@@ -1,0 +1,492 @@
+// Fixture tests for every fabriclint rule (docs/LINT.md): one failing and
+// one passing snippet per rule id, suppression-comment behavior, JSON-output
+// round-trip through the bundled obs/json.hpp parser, and the
+// catalogue <-> docs/LINT.md sync check. A registry of fired rule ids is
+// cross-checked against kLintCatalogue so a rule added to the engine without
+// fixtures fails here (same enforcement pattern as test_verify.cpp).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "catalogue.hpp"
+#include "fabriclint.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using vpga::fabriclint::Finding;
+using vpga::fabriclint::ObsRegistry;
+
+std::set<std::string>& fired_registry() {
+  static std::set<std::string> fired;
+  return fired;
+}
+
+void record(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) fired_registry().insert(f.rule);
+}
+
+std::vector<Finding> run_lint(std::string_view rel_path, std::string_view source,
+                              const ObsRegistry* registry = nullptr) {
+  auto findings = vpga::fabriclint::lint_source(rel_path, source, registry);
+  record(findings);
+  return findings;
+}
+
+bool has_rule(const std::vector<Finding>& findings, std::string_view rule) {
+  for (const Finding& f : findings)
+    if (f.rule == rule) return true;
+  return false;
+}
+
+ObsRegistry small_registry() {
+  ObsRegistry reg;
+  reg.spans = {"stage.map", "pack.attempt"};
+  reg.metrics = {"route.nets", "pack.groups"};
+  return reg;
+}
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// det.unordered-iter
+// ---------------------------------------------------------------------------
+
+TEST(DetUnorderedIter, FlagsRangeForOverUnorderedMember) {
+  const auto findings = run_lint("src/x/x.cpp", R"cpp(
+    #include <unordered_map>
+    std::unordered_map<int, int> table_;
+    int sum() {
+      int s = 0;
+      for (const auto& [k, v] : table_) s += v;
+      return s;
+    }
+  )cpp");
+  ASSERT_TRUE(has_rule(findings, "det.unordered-iter"));
+  EXPECT_EQ(findings[0].line, 6);
+}
+
+TEST(DetUnorderedIter, PassesOnVectorAndOnLookups) {
+  const auto findings = run_lint("src/x/x.cpp", R"cpp(
+    #include <unordered_map>
+    #include <vector>
+    std::unordered_map<int, int> table_;
+    std::vector<int> order_;
+    int sum() {
+      int s = 0;
+      for (int k : order_) s += table_.at(k);  // index-ordered iteration
+      return s;
+    }
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "det.unordered-iter"));
+}
+
+TEST(DetUnorderedIter, SortedDownstreamAnnotationSuppresses) {
+  const auto findings = run_lint("src/x/x.cpp", R"cpp(
+    #include <unordered_map>
+    std::unordered_map<int, int> table_;
+    int count_all() {
+      int n = 0;
+      // fabriclint: sorted-downstream -- commutative count, order washes out
+      for (const auto& [k, v] : table_) ++n;
+      return n;
+    }
+  )cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// det.raw-rng
+// ---------------------------------------------------------------------------
+
+TEST(DetRawRng, FlagsMt19937AndRandCall) {
+  const auto findings = run_lint("src/x/x.cpp", R"cpp(
+    #include <random>
+    int noise() {
+      std::mt19937 gen(42);
+      return rand() % 7;
+    }
+  )cpp");
+  EXPECT_TRUE(has_rule(findings, "det.raw-rng"));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(DetRawRng, PassesOnProjectRngAndInsideRngHeader) {
+  EXPECT_TRUE(run_lint("src/x/x.cpp", R"cpp(
+    #include "common/rng.hpp"
+    int noise(vpga::common::Rng& rng) { return static_cast<int>(rng.next_below(7)); }
+  )cpp")
+                  .empty());
+  // The one blessed home of RNG machinery is exempt.
+  EXPECT_TRUE(run_lint("src/common/rng.hpp", "// not std::mt19937\nint rand();\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// det.ptr-order
+// ---------------------------------------------------------------------------
+
+TEST(DetPtrOrder, FlagsPointerComparatorLambda) {
+  const auto findings = run_lint("src/x/x.cpp", R"cpp(
+    #include <algorithm>
+    #include <vector>
+    struct Node { int id; };
+    void order(std::vector<Node*>& v) {
+      std::sort(v.begin(), v.end(), [](const Node* a, const Node* b) { return a < b; });
+    }
+  )cpp");
+  EXPECT_TRUE(has_rule(findings, "det.ptr-order"));
+}
+
+TEST(DetPtrOrder, FlagsStdLessOverPointerAndAddressCompare) {
+  EXPECT_TRUE(has_rule(run_lint("src/x/x.cpp", R"cpp(
+    #include <map>
+    struct Node { int id; };
+    std::map<Node*, int, std::less<Node*>> rank_;
+  )cpp"),
+                       "det.ptr-order"));
+  EXPECT_TRUE(has_rule(run_lint("src/x/x.cpp", R"cpp(
+    struct Node { int id; };
+    bool before(const Node& x, const Node& y) { return &x < &y; }
+  )cpp"),
+                       "det.ptr-order"));
+}
+
+TEST(DetPtrOrder, PassesOnStableKeyComparator) {
+  const auto findings = run_lint("src/x/x.cpp", R"cpp(
+    #include <algorithm>
+    #include <vector>
+    struct Node { int id; };
+    void order(std::vector<Node*>& v) {
+      std::sort(v.begin(), v.end(),
+                [](const Node* a, const Node* b) { return a->id < b->id; });
+    }
+  )cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// det.wall-clock
+// ---------------------------------------------------------------------------
+
+TEST(DetWallClock, FlagsSystemClockAndBareTime) {
+  const auto findings = run_lint("src/x/x.cpp", R"cpp(
+    #include <chrono>
+    #include <ctime>
+    long stamp() {
+      auto t = std::chrono::system_clock::now();
+      (void)t;
+      return time(nullptr);
+    }
+  )cpp");
+  EXPECT_TRUE(has_rule(findings, "det.wall-clock"));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(DetWallClock, PassesOnSteadyClockAndInsideObs) {
+  EXPECT_TRUE(run_lint("src/x/x.cpp", R"cpp(
+    #include <chrono>
+    auto tick() { return std::chrono::steady_clock::now(); }
+  )cpp")
+                  .empty());
+  // src/obs/ owns the clocks.
+  EXPECT_TRUE(run_lint("src/obs/x.cpp", "auto t = std::chrono::system_clock::now();\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// io.stray-stream
+// ---------------------------------------------------------------------------
+
+TEST(IoStrayStream, FlagsCoutAndPrintfInLibraryCode) {
+  const auto findings = run_lint("src/x/x.cpp", R"cpp(
+    #include <cstdio>
+    #include <iostream>
+    void report(int n) {
+      std::cout << n << "\n";
+      printf("%d\n", n);
+    }
+  )cpp");
+  EXPECT_TRUE(has_rule(findings, "io.stray-stream"));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(IoStrayStream, PassesOutsideLibraryAndForSnprintf) {
+  // bench/ and examples/ are presentation code: stdout is their job.
+  EXPECT_TRUE(run_lint("bench/x.cpp", "#include <iostream>\nvoid p() { std::cout << 1; }\n")
+                  .empty());
+  // String formatting is not I/O.
+  EXPECT_TRUE(run_lint("src/x/x.cpp", R"cpp(
+    #include <cstdio>
+    int fmt(char* buf, unsigned long n, double v) { return std::snprintf(buf, n, "%g", v); }
+  )cpp")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// obs.span-name / obs.metric-name
+// ---------------------------------------------------------------------------
+
+TEST(ObsSpanName, FlagsConventionViolationAndUnregisteredName) {
+  const ObsRegistry reg = small_registry();
+  EXPECT_TRUE(has_rule(run_lint("src/x/x.cpp", R"cpp(
+    #include "obs/obs.hpp"
+    void f() { vpga::obs::Span s("BadName"); }
+  )cpp",
+                                &reg),
+                       "obs.span-name"));
+  EXPECT_TRUE(has_rule(run_lint("src/x/x.cpp", R"cpp(
+    #include "obs/obs.hpp"
+    void f() { vpga::obs::Span s("stage.unheard_of"); }
+  )cpp",
+                                &reg),
+                       "obs.span-name"));
+}
+
+TEST(ObsSpanName, PassesOnRegisteredAndDynamicNames) {
+  const ObsRegistry reg = small_registry();
+  EXPECT_TRUE(run_lint("src/x/x.cpp", R"cpp(
+    #include "obs/obs.hpp"
+    #include <string>
+    void f(const std::string& stage) {
+      vpga::obs::Span s("stage.map");
+      vpga::obs::Span t("verify." + stage);  // dynamic family: linter skips
+    }
+  )cpp",
+                       &reg)
+                  .empty());
+}
+
+TEST(ObsMetricName, FlagsConventionViolationAndUnregisteredName) {
+  const ObsRegistry reg = small_registry();
+  const auto findings = run_lint("src/x/x.cpp", R"cpp(
+    #include "obs/obs.hpp"
+    void f() {
+      vpga::obs::count("Route_Nets");
+      vpga::obs::observe("route.unheard_of", 1.0);
+    }
+  )cpp",
+                                 &reg);
+  EXPECT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(has_rule(findings, "obs.metric-name"));
+}
+
+TEST(ObsMetricName, PassesOnRegisteredNames) {
+  const ObsRegistry reg = small_registry();
+  EXPECT_TRUE(run_lint("src/x/x.cpp", R"cpp(
+    #include "obs/obs.hpp"
+    void f() {
+      vpga::obs::count("route.nets", 3);
+      vpga::obs::gauge("pack.groups", 2.0);
+    }
+  )cpp",
+                       &reg)
+                  .empty());
+}
+
+TEST(ObsRegistryParse, ReadsRealNamesHeader) {
+  const auto names_path =
+      std::filesystem::path(VPGA_REPO_ROOT) / "src" / "obs" / "names.hpp";
+  const ObsRegistry reg = vpga::fabriclint::parse_obs_registry(read_file(names_path));
+  EXPECT_TRUE(reg.spans.count("stage.map") > 0);
+  EXPECT_TRUE(reg.spans.count("route.negotiate") > 0);
+  EXPECT_TRUE(reg.metrics.count("route.ripups") > 0);
+  EXPECT_TRUE(reg.metrics.count("verify.equiv.vectors") > 0);
+  // Span names never leak into the metric set or vice versa.
+  EXPECT_EQ(reg.metrics.count("stage.map"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// verify.rule-sync
+// ---------------------------------------------------------------------------
+
+TEST(VerifyRuleSync, FlagsBothDriftDirections) {
+  const std::string header = R"cpp(
+    constexpr const char* kRules[] = {"a.one", "a.two"};
+  )cpp";
+  const std::string docs = "| rule | meaning |\n|---|---|\n| `a.one` | ok |\n| `a.three` | ghost |\n";
+  const auto findings =
+      vpga::fabriclint::check_rule_sync("h.hpp", header, "d.md", docs);
+  record(findings);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(has_rule(findings, "verify.rule-sync"));
+}
+
+TEST(VerifyRuleSync, PassesOnMatchingPair) {
+  const std::string header = R"cpp(constexpr const char* kRules[] = {"a.one"};)cpp";
+  const std::string docs = "| `a.one` | documented |\n";
+  EXPECT_TRUE(vpga::fabriclint::check_rule_sync("h.hpp", header, "d.md", docs).empty());
+}
+
+TEST(VerifyRuleSync, RealVerifyCatalogueMatchesDocs) {
+  const std::filesystem::path root(VPGA_REPO_ROOT);
+  const auto findings = vpga::fabriclint::check_rule_sync(
+      "src/verify/rules.hpp", read_file(root / "src" / "verify" / "rules.hpp"),
+      "docs/VERIFY.md", read_file(root / "docs" / "VERIFY.md"));
+  for (const Finding& f : findings) ADD_FAILURE() << f.file << ": " << f.message;
+}
+
+// docs/LINT.md's catalogue table stays in sync with catalogue.hpp (the
+// verify.rule-sync-style guard for fabriclint's own rules).
+TEST(VerifyRuleSync, LintCatalogueMatchesLintDocs) {
+  const std::filesystem::path root(VPGA_REPO_ROOT);
+  const auto findings = vpga::fabriclint::check_rule_sync(
+      "tools/fabriclint/catalogue.hpp",
+      read_file(root / "tools" / "fabriclint" / "catalogue.hpp"), "docs/LINT.md",
+      read_file(root / "docs" / "LINT.md"));
+  for (const Finding& f : findings) ADD_FAILURE() << f.file << ": " << f.message;
+}
+
+// ---------------------------------------------------------------------------
+// hdr.self-contained
+// ---------------------------------------------------------------------------
+
+class TempHeader {
+ public:
+  explicit TempHeader(std::string_view content) {
+    dir_ = std::filesystem::temp_directory_path() / "fabriclint_test_hdr";
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ / "fixture.hpp";
+    std::ofstream(path_) << content;
+  }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_, path_;
+};
+
+TEST(HdrSelfContained, FlagsHeaderMissingItsIncludes) {
+  const TempHeader hdr("#pragma once\ninline std::string broken() { return {}; }\n");
+  const auto findings = vpga::fabriclint::check_header_self_contained(
+      hdr.path().string(), "src/fixture.hpp", hdr.dir().string(), VPGA_CXX_COMPILER);
+  record(findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hdr.self-contained");
+}
+
+TEST(HdrSelfContained, PassesOnSelfContainedHeader) {
+  const TempHeader hdr("#pragma once\n#include <string>\ninline std::string ok() { return {}; }\n");
+  EXPECT_TRUE(vpga::fabriclint::check_header_self_contained(
+                  hdr.path().string(), "src/fixture.hpp", hdr.dir().string(), VPGA_CXX_COMPILER)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions / meta.bad-suppression
+// ---------------------------------------------------------------------------
+
+TEST(Suppression, DisableWithReasonSuppressesOwnLineAndNextCodeLine) {
+  // Same line.
+  EXPECT_TRUE(run_lint("src/x/x.cpp",
+                       "#include <cstdio>\nvoid f() { printf(\"x\"); }  "
+                       "// fabriclint: disable(io.stray-stream) -- test sink\n")
+                  .empty());
+  // Own line, applying past a continuation comment to the next code line.
+  EXPECT_TRUE(run_lint("src/x/x.cpp", R"cpp(
+    #include <cstdio>
+    void f() {
+      // fabriclint: disable(io.stray-stream) -- the reason is long enough
+      // to spill onto a second comment line before the code.
+      printf("x");
+    }
+  )cpp")
+                  .empty());
+}
+
+TEST(Suppression, DisableOnlySilencesTheNamedRule) {
+  const auto findings = run_lint("src/x/x.cpp", R"cpp(
+    #include <cstdio>
+    void f() {
+      // fabriclint: disable(det.raw-rng) -- wrong rule for this line
+      printf("x");
+    }
+  )cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "io.stray-stream");
+}
+
+TEST(MetaBadSuppression, FlagsMissingReasonUnknownRuleAndGarbage) {
+  const auto findings = run_lint("src/x/x.cpp", R"cpp(
+    // fabriclint: disable(io.stray-stream)
+    // fabriclint: disable(no.such-rule) -- reason present but rule unknown
+    // fabriclint: frobnicate the linter
+    int x = 0;
+  )cpp");
+  EXPECT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "meta.bad-suppression");
+}
+
+TEST(MetaBadSuppression, PassesOnWellFormedDirectives) {
+  EXPECT_TRUE(run_lint("src/x/x.cpp", R"cpp(
+    #include <cstdio>
+    // fabriclint: disable(io.stray-stream) -- fixture demonstrating the form
+    void f() { printf("x"); }
+  )cpp")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON output round-trip
+// ---------------------------------------------------------------------------
+
+TEST(JsonOutput, RoundTripsThroughBundledParser) {
+  const auto findings = run_lint("src/x/x.cpp", R"cpp(
+    #include <cstdio>
+    void f() { printf("quote \" and backslash \\ in message context"); }
+  )cpp");
+  ASSERT_FALSE(findings.empty());
+  const std::string doc = vpga::fabriclint::findings_json(findings);
+
+  vpga::obs::json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(vpga::obs::json::parse(doc, parsed, &error)) << error;
+  ASSERT_TRUE(parsed.is_object());
+  EXPECT_EQ(parsed.find("schema")->string, "vpga.fabriclint.v1");
+  EXPECT_EQ(static_cast<std::size_t>(parsed.find("total")->number), findings.size());
+  const auto* arr = parsed.find("findings");
+  ASSERT_TRUE(arr != nullptr && arr->is_array());
+  ASSERT_EQ(arr->array.size(), findings.size());
+  const auto& first = arr->array[0];
+  EXPECT_EQ(first.find("file")->string, findings[0].file);
+  EXPECT_EQ(static_cast<int>(first.find("line")->number), findings[0].line);
+  EXPECT_EQ(first.find("rule")->string, findings[0].rule);
+  EXPECT_EQ(first.find("message")->string, findings[0].message);
+}
+
+TEST(JsonOutput, EmptyFindingsIsValidDocument) {
+  vpga::obs::json::Value parsed;
+  ASSERT_TRUE(vpga::obs::json::parse(vpga::fabriclint::findings_json({}), parsed, nullptr));
+  EXPECT_EQ(parsed.find("total")->number, 0.0);
+  EXPECT_TRUE(parsed.find("findings")->is_array());
+}
+
+// ---------------------------------------------------------------------------
+// Catalogue coverage (must run last: gtest preserves file order per suite
+// name, so give it a name that sorts the intent, and rely on the fixtures
+// above all having executed in this binary).
+// ---------------------------------------------------------------------------
+
+TEST(ZLintCatalogue, EveryRuleHasFixtures) {
+  for (std::string_view rule : vpga::fabriclint::kLintCatalogue) {
+    EXPECT_TRUE(fired_registry().count(std::string(rule)) > 0)
+        << "rule " << rule << " is catalogued but no fixture in "
+        << "test_fabriclint.cpp triggered it";
+  }
+  for (const std::string& rule : fired_registry()) {
+    EXPECT_TRUE(vpga::fabriclint::known_rule(rule))
+        << "fixtures fired rule " << rule << " which is not in kLintCatalogue";
+  }
+}
+
+}  // namespace

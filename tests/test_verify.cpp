@@ -8,7 +8,6 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <fstream>
 #include <set>
 #include <string>
 
@@ -491,34 +490,11 @@ TEST(RuleCatalogue, EveryRuleIsExercised) {
   }
 }
 
-// The docs table in docs/VERIFY.md must list exactly the catalogue: a rule
-// row is any table line whose first backticked token contains a '.'.
-TEST(RuleCatalogue, DocsTableMatchesCatalogue) {
-  std::ifstream in(VPGA_DOCS_DIR "/VERIFY.md");
-  if (!in.is_open()) GTEST_SKIP() << "docs/VERIFY.md not found next to the test sources";
-  std::set<std::string, std::less<>> documented;
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto open = line.find('`');
-    if (open == std::string::npos || line.find('|') == std::string::npos) continue;
-    const auto close = line.find('`', open + 1);
-    if (close == std::string::npos) continue;
-    const std::string token = line.substr(open + 1, close - open - 1);
-    if (token.find('.') == std::string::npos) continue;
-    if (std::find(kRuleCatalogue.begin(), kRuleCatalogue.end(), token) !=
-        kRuleCatalogue.end())
-      documented.insert(token);
-    else if (token.find(' ') == std::string::npos && token.find('(') == std::string::npos &&
-             (token.rfind("lint.", 0) == 0 || token.rfind("map.", 0) == 0 ||
-              token.rfind("compact.", 0) == 0 || token.rfind("pack.", 0) == 0 ||
-              token.rfind("route.", 0) == 0 || token.rfind("equiv.", 0) == 0))
-      ADD_FAILURE() << "docs/VERIFY.md documents unknown rule id `" << token << "`";
-  }
-  for (std::string_view rule : kRuleCatalogue) {
-    EXPECT_TRUE(documented.count(rule) > 0)
-        << "rule " << rule << " is in kRuleCatalogue but has no row in docs/VERIFY.md";
-  }
-}
+// The docs-table <-> catalogue sync check that used to live here (a string
+// scrape of docs/VERIFY.md) moved into fabriclint's tree-level
+// `verify.rule-sync` check (tools/fabriclint, docs/LINT.md), which runs as
+// the `fabriclint` ctest and in CI; test_fabriclint.cpp covers the scrape
+// logic itself against the real files.
 
 }  // namespace
 }  // namespace vpga::verify

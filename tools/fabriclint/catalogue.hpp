@@ -1,0 +1,43 @@
+#pragma once
+/// \file catalogue.hpp
+/// The canonical catalogue of fabriclint rule ids, modeled on
+/// src/verify/rules.hpp: every rule the linter can emit appears here exactly
+/// once, the docs table in docs/LINT.md is checked against this list by the
+/// tree-level `verify.rule-sync` check, and tests/test_fabriclint.cpp keeps a
+/// failing + passing fixture per id. A rule added to the engine without a doc
+/// row and a fixture fails CI rather than drifting.
+///
+/// Only rule-id string literals may appear in this file: the sync check
+/// scrapes every dotted string literal below as a catalogue entry.
+
+#include <array>
+#include <string_view>
+
+namespace vpga::fabriclint {
+
+inline constexpr std::array<std::string_view, 10> kLintCatalogue = {
+    // Determinism (all walked trees).
+    "det.unordered-iter",
+    "det.raw-rng",
+    "det.ptr-order",
+    "det.wall-clock",
+    // Library I/O discipline (src/ only).
+    "io.stray-stream",
+    // Observability naming (src/ only).
+    "obs.span-name",
+    "obs.metric-name",
+    // Tree-level sync and build-level checks.
+    "verify.rule-sync",
+    "hdr.self-contained",
+    // Suppression hygiene.
+    "meta.bad-suppression",
+};
+
+/// True iff `rule` names a catalogued rule id.
+constexpr bool known_rule(std::string_view rule) {
+  for (std::string_view r : kLintCatalogue)
+    if (r == rule) return true;
+  return false;
+}
+
+}  // namespace vpga::fabriclint

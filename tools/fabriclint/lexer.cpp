@@ -1,0 +1,188 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace vpga::fabriclint {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+/// Two-character punctuators lexed as one token. `::` matters most: with it
+/// fused, a single `:` inside a range-for header is unambiguously the range
+/// colon. The operators keep `&` ident `<` `&` ident patterns unambiguous.
+bool two_char_punct(char a, char b) {
+  switch (a) {
+    case ':': return b == ':';
+    case '-': return b == '>' || b == '-' || b == '=';
+    case '+': return b == '+' || b == '=';
+    case '<': return b == '<' || b == '=';
+    case '>': return b == '>' || b == '=';
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '&': return b == '&' || b == '=';
+    case '|': return b == '|' || b == '=';
+    default: return false;
+  }
+}
+
+/// Parses one comment body for a fabriclint directive. `own_line` = the
+/// comment is the first non-whitespace content on its line.
+void parse_directive(std::string_view comment, int line, bool own_line,
+                     std::vector<Directive>& out) {
+  const auto pos = comment.find("fabriclint:");
+  if (pos == std::string_view::npos) return;
+  std::string_view body = trim(comment.substr(pos + 11));
+  Directive d;
+  d.line = line;
+  d.own_line = own_line;
+  d.raw = std::string(body);
+  std::string_view reason;
+  if (const auto sep = body.find("--"); sep != std::string_view::npos) {
+    reason = trim(body.substr(sep + 2));
+    body = trim(body.substr(0, sep));
+  }
+  d.has_reason = !reason.empty();
+  if (body.substr(0, 8) == "disable(" && body.back() == ')') {
+    d.kind = Directive::Kind::kDisable;
+    d.rule = std::string(trim(body.substr(8, body.size() - 9)));
+  } else if (body == "sorted-downstream") {
+    d.kind = Directive::Kind::kSortedDownstream;
+  } else {
+    d.kind = Directive::Kind::kMalformed;
+  }
+  out.push_back(std::move(d));
+}
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult res;
+  std::size_t i = 0;
+  int line = 1;
+  bool line_has_code = false;  // any token emitted on the current line yet
+
+  auto push = [&](TokKind k, std::string text) {
+    res.tokens.push_back({k, std::move(text), line});
+    line_has_code = true;
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      line_has_code = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment (and directive extraction).
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      const auto end = src.find('\n', i);
+      const std::string_view body =
+          src.substr(i + 2, (end == std::string_view::npos ? src.size() : end) - i - 2);
+      parse_directive(body, line, !line_has_code, res.directives);
+      i = end == std::string_view::npos ? src.size() : end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const int start_line = line;
+      const bool own = !line_has_code;
+      std::size_t j = i + 2;
+      while (j + 1 < src.size() && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      parse_directive(src.substr(i + 2, j - i - 2), start_line, own, res.directives);
+      i = j + 2 > src.size() ? src.size() : j + 2;
+      continue;
+    }
+    // Identifier (possibly a raw-string prefix).
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < src.size() && ident_char(src[j])) ++j;
+      std::string id(src.substr(i, j - i));
+      // Raw string literal: R"delim( ... )delim" (incl. u8R, uR, UR, LR).
+      if (j < src.size() && src[j] == '"' && !id.empty() && id.back() == 'R' &&
+          (id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR")) {
+        std::size_t k = j + 1;
+        std::string delim;
+        while (k < src.size() && src[k] != '(') delim += src[k++];
+        const std::string closer = ")" + delim + "\"";
+        const auto end = src.find(closer, k);
+        const std::size_t stop = end == std::string_view::npos ? src.size() : end;
+        std::string body(src.substr(k + 1 <= stop ? k + 1 : stop, stop - (k + 1)));
+        for (char bc : body)
+          if (bc == '\n') ++line;
+        push(TokKind::kString, std::move(body));
+        i = end == std::string_view::npos ? src.size() : end + closer.size();
+        continue;
+      }
+      push(TokKind::kIdent, std::move(id));
+      i = j;
+      continue;
+    }
+    // Ordinary string / char literal.
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      std::string body;
+      while (j < src.size() && src[j] != c) {
+        if (src[j] == '\\' && j + 1 < src.size()) {
+          body += src[j];
+          body += src[j + 1];
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; keep line count honest
+        body += src[j++];
+      }
+      push(c == '"' ? TokKind::kString : TokKind::kChar, std::move(body));
+      i = j < src.size() ? j + 1 : j;
+      continue;
+    }
+    // Number (pp-number: digits, letters, dots, exponent signs, separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i;
+      while (j < src.size()) {
+        const char n = src[j];
+        if (ident_char(n) || n == '.' || n == '\'') {
+          ++j;
+          continue;
+        }
+        if ((n == '+' || n == '-') && j > i) {
+          const char p = src[j - 1];
+          if (p == 'e' || p == 'E' || p == 'p' || p == 'P') {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      push(TokKind::kNumber, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Punctuation (two-char operators fused).
+    if (i + 1 < src.size() && two_char_punct(c, src[i + 1])) {
+      push(TokKind::kPunct, std::string(src.substr(i, 2)));
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return res;
+}
+
+}  // namespace vpga::fabriclint

@@ -1,0 +1,47 @@
+#pragma once
+/// \file lexer.hpp
+/// Minimal C++ tokenizer for fabriclint: identifiers, numbers, string/char
+/// literals (including raw strings) and punctuation, with line numbers, plus
+/// extraction of `// fabriclint: ...` suppression directives from comments.
+/// Deliberately not a real C++ front end — the rules it feeds are pattern
+/// checks that tolerate a lossy token stream (template-angle ambiguity,
+/// preprocessor lines tokenized as ordinary text).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vpga::fabriclint {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;  ///< for kString: the decoded-free raw contents (no quotes)
+  int line = 1;
+};
+
+/// One `// fabriclint: ...` comment directive.
+struct Directive {
+  enum class Kind {
+    kDisable,           ///< fabriclint: disable(<rule>) -- <reason>
+    kSortedDownstream,  ///< fabriclint: sorted-downstream [-- <reason>]
+    kMalformed,         ///< unparseable fabriclint: comment
+  };
+  Kind kind = Kind::kMalformed;
+  int line = 1;
+  bool own_line = false;  ///< nothing but whitespace before the comment
+  std::string rule;       ///< disable() target ("" otherwise)
+  bool has_reason = false;
+  std::string raw;  ///< directive text after "fabriclint:" (diagnostics)
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+};
+
+/// Tokenizes `src`. Never fails: unterminated literals are closed at EOF.
+LexResult lex(std::string_view src);
+
+}  // namespace vpga::fabriclint

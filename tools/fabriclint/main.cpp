@@ -1,0 +1,156 @@
+/// \file main.cpp
+/// fabriclint CLI — walks the tree, runs every rule, prints findings as
+/// file:line: rule: message, optionally emits the JSON findings document,
+/// and exits nonzero on any unsuppressed finding (docs/LINT.md).
+///
+/// Usage:
+///   fabriclint [--root DIR] [--json FILE|-] [--headers [COMPILER]] [DIR...]
+///
+/// DIR... are lint roots relative to --root (default: src bench examples).
+/// --headers additionally compiles every src/**/*.hpp standalone
+/// (hdr.self-contained); the same property is enforced at build time by the
+/// vpga_header_selfcheck target, so CI's fabriclint job runs without it.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fabriclint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using vpga::fabriclint::Finding;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string rel_slash(const fs::path& p, const fs::path& root) {
+  std::string s = p.lexically_relative(root).generic_string();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string json_out;
+  bool headers = false;
+  std::string compiler = "c++";
+  std::vector<std::string> dirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--headers") {
+      headers = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') compiler = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: fabriclint [--root DIR] [--json FILE|-] [--headers [CXX]] "
+                   "[DIR...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fabriclint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) dirs = {"src", "bench", "examples"};
+
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "fabriclint: bad --root: " << ec.message() << "\n";
+    return 2;
+  }
+
+  // The obs name registry (absence is tolerated: convention checks still run).
+  vpga::fabriclint::ObsRegistry registry;
+  const fs::path names = root / "src" / "obs" / "names.hpp";
+  if (fs::exists(names)) registry = vpga::fabriclint::parse_obs_registry(read_file(names));
+
+  // Deterministic file order regardless of directory enumeration order.
+  std::vector<fs::path> files;
+  for (const std::string& d : dirs) {
+    const fs::path base = root / d;
+    if (!fs::exists(base)) continue;
+    for (auto it = fs::recursive_directory_iterator(base); it != fs::recursive_directory_iterator();
+         ++it) {
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+        files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& f : files) {
+    auto file_findings =
+        vpga::fabriclint::lint_source(rel_slash(f, root), read_file(f), &registry);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+
+  // Tree-level rule/doc sync: the verify catalogue and fabriclint's own.
+  const std::pair<const char*, const char*> sync_pairs[] = {
+      {"src/verify/rules.hpp", "docs/VERIFY.md"},
+      {"tools/fabriclint/catalogue.hpp", "docs/LINT.md"},
+  };
+  for (const auto& [hdr, doc] : sync_pairs) {
+    const fs::path hp = root / hdr, dp = root / doc;
+    if (!fs::exists(hp) || !fs::exists(dp)) {
+      findings.push_back({hdr, 1, "verify.rule-sync",
+                          std::string("missing ") + (fs::exists(hp) ? doc : hdr) +
+                              " — catalogue/docs pair incomplete"});
+      continue;
+    }
+    auto sync = vpga::fabriclint::check_rule_sync(hdr, read_file(hp), doc, read_file(dp));
+    findings.insert(findings.end(), sync.begin(), sync.end());
+  }
+
+  if (headers) {
+    const fs::path src = root / "src";
+    for (const fs::path& f : files) {
+      if (f.extension() != ".hpp") continue;
+      const std::string rel = rel_slash(f, root);
+      if (rel.rfind("src/", 0) != 0) continue;
+      auto hdr_findings = vpga::fabriclint::check_header_self_contained(
+          f.string(), rel, src.string(), compiler);
+      findings.insert(findings.end(), hdr_findings.begin(), hdr_findings.end());
+    }
+  }
+
+  vpga::fabriclint::sort_findings(findings);
+  for (const Finding& f : findings)
+    std::cerr << f.file << ":" << f.line << ": " << f.rule << ": " << f.message << "\n";
+
+  if (!json_out.empty()) {
+    const std::string doc = vpga::fabriclint::findings_json(findings);
+    if (json_out == "-") {
+      std::cout << doc << "\n";
+    } else {
+      std::ofstream out(json_out, std::ios::binary);
+      out << doc << "\n";
+    }
+  }
+
+  if (findings.empty()) {
+    std::cerr << "fabriclint: clean (" << files.size() << " files)\n";
+    return 0;
+  }
+  std::cerr << "fabriclint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
