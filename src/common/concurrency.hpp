@@ -1,0 +1,26 @@
+#pragma once
+/// \file concurrency.hpp
+/// Lock-discipline annotations checked statically by fabriclint.
+///
+/// `FABRIC_GUARDED_BY(m)` documents that a data member may only be read or
+/// written while the mutex `m` is held. The macro expands to nothing — it is
+/// a machine-checked comment: fabriclint's semantic engine (docs/LINT.md,
+/// rule `conc.unguarded-access`) builds a symbol table and call graph over
+/// `src/` and reports any access to an annotated field from a context that
+/// does not hold the named mutex, either directly or transitively through
+/// every caller. This turns the data-race discipline that the CI TSan job
+/// samples dynamically into a property checked on every path at lint time.
+///
+/// Usage:
+///
+/// ```cpp
+/// class MetricsRegistry {
+///   mutable std::mutex mu_;
+///   std::map<std::string, long long> counters_ FABRIC_GUARDED_BY(mu_);
+/// };
+/// ```
+///
+/// Place the annotation after the declarator, before any initializer:
+/// `long long runs FABRIC_GUARDED_BY(mu) = 0;`.
+
+#define FABRIC_GUARDED_BY(mutex_expr)

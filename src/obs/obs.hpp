@@ -30,6 +30,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/concurrency.hpp"
+
 namespace vpga::obs {
 
 // ---------------------------------------------------------------------------
@@ -109,9 +111,9 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, long long, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, HistogramData, std::less<>> histograms_;
+  std::map<std::string, long long, std::less<>> counters_ FABRIC_GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ FABRIC_GUARDED_BY(mu_);
+  std::map<std::string, HistogramData, std::less<>> histograms_ FABRIC_GUARDED_BY(mu_);
 };
 
 // ---------------------------------------------------------------------------

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/assert.hpp"
+#include "common/concurrency.hpp"
 #include "obs/obs.hpp"
 
 namespace vpga::pack {
@@ -94,6 +96,19 @@ bool hall_feasible(const PlbArchitecture& arch, int tiles,
 void add_demand(std::map<core::ComponentClass, int>& d, const Group& g) {
   for (ConfigKind k : g.configs)
     for (auto cls : core::config_spec(k).needs) ++d[cls];
+}
+
+/// Backing store of pack::pack_tally(). pack() runs on four threads under a
+/// parallel compare, hence the lock discipline.
+struct PackTally {
+  std::mutex mu;
+  long long packs FABRIC_GUARDED_BY(mu) = 0;
+  long long grow_attempts FABRIC_GUARDED_BY(mu) = 0;
+};
+
+PackTally& pack_tally_storage() {
+  static PackTally tally;
+  return tally;
 }
 
 }  // namespace
@@ -366,6 +381,12 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
     }
     out.plbs_used = used;
     obs::count("pack.grow_attempts", out.grow_attempts);
+    {
+      PackTally& tally = pack_tally_storage();
+      const std::lock_guard<std::mutex> lock(tally.mu);
+      ++tally.packs;
+      tally.grow_attempts += out.grow_attempts;
+    }
     for (int c = 0; c < core::kNumPlbComponents; ++c) {
       const int cap = used * arch.component_count[static_cast<std::size_t>(c)];
       out.slot_utilization[static_cast<std::size_t>(c)] =
@@ -373,6 +394,12 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
     }
     return out;
   }
+}
+
+PackTallySnapshot pack_tally() {
+  PackTally& tally = pack_tally_storage();
+  const std::lock_guard<std::mutex> lock(tally.mu);
+  return {tally.packs, tally.grow_attempts};
 }
 
 }  // namespace vpga::pack

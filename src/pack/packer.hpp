@@ -56,4 +56,14 @@ PackedDesign pack(const netlist::Netlist& nl, const place::Placement& placed,
 /// size the array; also a useful density metric on its own).
 int first_fit_tile_count(const netlist::Netlist& nl, const core::PlbArchitecture& arch);
 
+/// Process-lifetime packer counters, accumulated across every pack() call in
+/// the process. pack() runs concurrently under FlowOptions::parallel_compare,
+/// so the backing store is mutex-guarded (FABRIC_GUARDED_BY,
+/// src/common/concurrency.hpp) and read through a locked snapshot.
+struct PackTallySnapshot {
+  long long packs = 0;          ///< completed pack() calls
+  long long grow_attempts = 0;  ///< summed array-size retries
+};
+[[nodiscard]] PackTallySnapshot pack_tally();
+
 }  // namespace vpga::pack

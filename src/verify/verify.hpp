@@ -58,9 +58,9 @@ class FlowVerifier {
   /// (also accumulated into report()). `golden` enables the equivalence gate
   /// (ignored below kLintEquiv or when the lint found errors); `packed` is
   /// required at kPostPack and kPostRoute.
-  VerifyReport check(Stage stage, const netlist::Netlist& nl,
-                     const netlist::Netlist* golden = nullptr,
-                     const pack::PackedDesign* packed = nullptr);
+  [[nodiscard]] VerifyReport check(Stage stage, const netlist::Netlist& nl,
+                                   const netlist::Netlist* golden = nullptr,
+                                   const pack::PackedDesign* packed = nullptr);
 
   /// All findings across every stage checked so far.
   [[nodiscard]] const VerifyReport& report() const { return report_; }

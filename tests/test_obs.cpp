@@ -203,6 +203,52 @@ TEST(Metrics, MetricsJsonParsesBack) {
   EXPECT_EQ(h->find("buckets")->array.size(), static_cast<std::size_t>(kHistogramBuckets));
 }
 
+// --- JSON string escapes: UTF-16 surrogate pairs ----------------------------
+// The parser decodes \uD800-\uDBFF + \uDC00-\uDFFF pairs into one
+// supplementary-plane code point and rejects lone halves (json.cpp).
+
+TEST(Json, SurrogatePairDecodesToSupplementaryPlaneUtf8) {
+  json::Value v;
+  std::string err;
+  // U+1D11E MUSICAL SYMBOL G CLEF = F0 9D 84 9E in UTF-8.
+  ASSERT_TRUE(json::parse(R"("\uD834\uDD1E")", v, &err)) << err;
+  EXPECT_EQ(v.string, "\xF0\x9D\x84\x9E");
+
+  // Boundary pair: U+10000, the first supplementary code point.
+  ASSERT_TRUE(json::parse(R"("\uD800\uDC00")", v, &err)) << err;
+  EXPECT_EQ(v.string, "\xF0\x90\x80\x80");
+
+  // Boundary pair: U+10FFFF, the last code point.
+  ASSERT_TRUE(json::parse(R"("\uDBFF\uDFFF")", v, &err)) << err;
+  EXPECT_EQ(v.string, "\xF4\x8F\xBF\xBF");
+}
+
+TEST(Json, LoneSurrogatesAreRejected) {
+  json::Value v;
+  std::string err;
+  // High surrogate at end of string.
+  EXPECT_FALSE(json::parse(R"("\uD834")", v, &err));
+  EXPECT_NE(err.find("unpaired high surrogate"), std::string::npos);
+  // High surrogate followed by a non-\u escape.
+  EXPECT_FALSE(json::parse(R"("\uD834\n")", v, &err));
+  // High surrogate followed by an ordinary character.
+  EXPECT_FALSE(json::parse(R"("\uD834x")", v, &err));
+  // Two high surrogates in a row (second half must be in DC00-DFFF).
+  EXPECT_FALSE(json::parse(R"("\uD834\uD834")", v, &err));
+  EXPECT_NE(err.find("invalid low surrogate"), std::string::npos);
+  // Low surrogate with no preceding high half.
+  EXPECT_FALSE(json::parse(R"("\uDD1E")", v, &err));
+  EXPECT_NE(err.find("unpaired low surrogate"), std::string::npos);
+}
+
+TEST(Json, BasicPlaneEscapesStillDecodeDirectly) {
+  json::Value v;
+  std::string err;
+  // Just below the surrogate range: U+D7FF, and just above: U+E000.
+  ASSERT_TRUE(json::parse(R"("\uD7FF\uE000")", v, &err)) << err;
+  EXPECT_EQ(v.string, "\xED\x9F\xBF\xEE\x80\x80");
+}
+
 // --- Disabled-path overhead -------------------------------------------------
 
 TEST(Overhead, DisabledInstrumentationDoesNotAllocate) {

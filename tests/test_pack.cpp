@@ -158,5 +158,15 @@ TEST(Pack, SlotUtilizationReported) {
   EXPECT_GT(total, 0.0);
 }
 
+TEST(Pack, PackTallyAccumulatesAcrossCalls) {
+  const auto arch = PlbArchitecture::granular();
+  const auto p = prepare(designs::make_ripple_adder(8), arch);
+  const auto before = pack_tally();
+  const auto d = pack(p.nl, p.placed, arch);
+  const auto after = pack_tally();
+  EXPECT_EQ(after.packs, before.packs + 1);
+  EXPECT_EQ(after.grow_attempts, before.grow_attempts + d.grow_attempts);
+}
+
 }  // namespace
 }  // namespace vpga::pack

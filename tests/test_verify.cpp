@@ -382,6 +382,26 @@ TEST(StageChecks, OverBudgetTileFiresViaBudget) {
   expect_fired(r, "route.via-budget");
 }
 
+TEST(StageChecks, ViaTallyCountsChecksAndOverruns) {
+  PackedStage s;
+  const auto before = via_tally();
+  VerifyReport ok;
+  check_post_route(s.compacted, s.packed, s.arch, "post-route", ok);
+  for (NodeId id : s.compacted.all_nodes()) {
+    const auto& n = s.compacted.node(id);
+    if (n.type == NodeType::kDff || (n.type == NodeType::kComb && n.has_config()))
+      s.packed.tile_of_node[id.index()] = 0;
+  }
+  auto tiny = s.arch;
+  for (auto& c : tiny.component_count) c = 0;
+  tiny.component_count[static_cast<std::size_t>(core::PlbComponent::kMux)] = 1;
+  VerifyReport bad;
+  check_post_route(s.compacted, s.packed, tiny, "post-route", bad);
+  const auto after = via_tally();
+  EXPECT_EQ(after.checks, before.checks + 2);
+  EXPECT_GT(after.overruns, before.overruns);
+}
+
 TEST(StageChecks, FlowVerifierRoutesViaBudgetThroughPostRouteStage) {
   PackedStage s;
   for (NodeId id : s.compacted.all_nodes()) {

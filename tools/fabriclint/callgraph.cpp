@@ -1,0 +1,93 @@
+#include "callgraph.hpp"
+
+#include <set>
+
+namespace vpga::fabriclint {
+
+CallGraph::CallGraph(const std::vector<TuSymbols>& tus) : tus_(&tus) {
+  for (std::size_t t = 0; t < tus.size(); ++t)
+    for (std::size_t f = 0; f < tus[t].functions.size(); ++f)
+      if (tus[t].functions[f].is_definition) {
+        by_name_[tus[t].functions[f].name].push_back(static_cast<int>(fns_.size()));
+        fns_.push_back({static_cast<int>(t), static_cast<int>(f)});
+      }
+  callees_.resize(fns_.size());
+  callers_.resize(fns_.size());
+  resolve_calls();
+}
+
+const FunctionInfo& CallGraph::fn(int i) const {
+  const FnRef& r = fns_[static_cast<std::size_t>(i)];
+  return (*tus_)[static_cast<std::size_t>(r.tu)]
+      .functions[static_cast<std::size_t>(r.fn)];
+}
+
+const TuSymbols& CallGraph::tu_of(int i) const {
+  return (*tus_)[static_cast<std::size_t>(fns_[static_cast<std::size_t>(i)].tu)];
+}
+
+const std::vector<CallGraph::Edge>& CallGraph::callees(int i) const {
+  return callees_[static_cast<std::size_t>(i)];
+}
+
+const std::vector<CallGraph::Edge>& CallGraph::callers(int i) const {
+  return callers_[static_cast<std::size_t>(i)];
+}
+
+void CallGraph::resolve_calls() {
+  for (int from = 0; from < function_count(); ++from) {
+    const FunctionInfo& f = fn(from);
+    for (const CallSite& c : f.calls) {
+      const auto it = by_name_.find(c.callee);
+      if (it == by_name_.end()) continue;
+      std::vector<int> candidates = it->second;
+      // An explicit qualifier narrows to that class when any candidate has
+      // it; a member of the caller's own class is preferred for unqualified
+      // calls.
+      const std::string& want =
+          !c.qualifier.empty() ? c.qualifier : (c.member_call ? "" : f.class_name);
+      if (!want.empty()) {
+        std::vector<int> narrowed;
+        for (int cand : candidates)
+          if (fn(cand).class_name == want) narrowed.push_back(cand);
+        if (!narrowed.empty()) candidates = std::move(narrowed);
+      }
+      for (int to : candidates) {
+        callees_[static_cast<std::size_t>(from)].push_back({from, to, c.tok, c.line});
+        callers_[static_cast<std::size_t>(to)].push_back({from, to, c.tok, c.line});
+      }
+    }
+  }
+}
+
+int CallGraph::find(std::string_view qualified) const {
+  std::string cls;
+  std::string name(qualified);
+  if (const std::size_t sep = name.rfind("::"); sep != std::string::npos) {
+    cls = name.substr(0, sep);
+    name = name.substr(sep + 2);
+  }
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return -1;
+  for (int i : it->second)
+    if (cls.empty() || fn(i).class_name == cls) return i;
+  return -1;
+}
+
+bool CallGraph::reachable(int from, int to) const {
+  std::set<int> seen;
+  std::vector<int> work;
+  for (const Edge& e : callees(from)) work.push_back(e.to);
+  while (!work.empty()) {
+    const int cur = work.back();
+    work.pop_back();
+    if (cur == to) return true;
+    if (!seen.insert(cur).second) continue;
+    for (const Edge& e : callees(cur)) work.push_back(e.to);
+  }
+  return false;
+}
+
+CallGraph build_call_graph(const std::vector<TuSymbols>& tus) { return CallGraph(tus); }
+
+}  // namespace vpga::fabriclint

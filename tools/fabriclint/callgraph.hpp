@@ -1,0 +1,71 @@
+#pragma once
+/// \file callgraph.hpp
+/// Interprocedural call graph over the per-TU symbol tables.
+///
+/// build_call_graph() merges every function *definition* from the analyzed
+/// TUs into one index and resolves each recorded call site against it.
+/// Resolution is by unqualified name; an explicit `X::` qualifier or a
+/// member-call receiver class filters the candidates, and a caller's own
+/// class is preferred for unqualified names. Where the subset cannot decide
+/// between candidates it keeps all of them — the graph over-approximates,
+/// which is the conservative direction for reachability rules
+/// (io.stray-stream transitive, conc.lock-order) and is compensated by the
+/// caller-holds-lock check of conc.unguarded-access requiring *all* callers
+/// to hold the mutex.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "symbols.hpp"
+
+namespace vpga::fabriclint {
+
+class CallGraph {
+ public:
+  /// One resolved call edge; `tok`/`line` locate the call site in `from`'s
+  /// TU.
+  struct Edge {
+    int from = -1;
+    int to = -1;
+    std::size_t tok = 0;
+    int line = 0;
+  };
+
+  explicit CallGraph(const std::vector<TuSymbols>& tus);
+
+  [[nodiscard]] int function_count() const { return static_cast<int>(fns_.size()); }
+  [[nodiscard]] const FunctionInfo& fn(int i) const;
+  [[nodiscard]] const TuSymbols& tu_of(int i) const;
+  [[nodiscard]] const std::vector<Edge>& callees(int i) const;
+  [[nodiscard]] const std::vector<Edge>& callers(int i) const;
+
+  /// Finds a definition by `name` or `Class::name`; -1 when absent. First
+  /// match in deterministic (TU, declaration) order.
+  [[nodiscard]] int find(std::string_view qualified) const;
+
+  /// True when `to` is reachable from `from` over callee edges (including
+  /// from == to only if `from` sits on a cycle through itself).
+  [[nodiscard]] bool reachable(int from, int to) const;
+
+ private:
+  struct FnRef {
+    int tu = 0;
+    int fn = 0;
+  };
+
+  void resolve_calls();
+
+  const std::vector<TuSymbols>* tus_;
+  std::vector<FnRef> fns_;  ///< definitions, in (TU, declaration) order
+  std::map<std::string, std::vector<int>> by_name_;
+  std::vector<std::vector<Edge>> callees_;
+  std::vector<std::vector<Edge>> callers_;
+};
+
+/// Builds the graph; `tus` must outlive the returned object.
+CallGraph build_call_graph(const std::vector<TuSymbols>& tus);
+
+}  // namespace vpga::fabriclint

@@ -15,14 +15,21 @@
 
 namespace vpga::fabriclint {
 
-inline constexpr std::array<std::string_view, 10> kLintCatalogue = {
+inline constexpr std::array<std::string_view, 15> kLintCatalogue = {
     // Determinism (all walked trees).
     "det.unordered-iter",
     "det.raw-rng",
     "det.ptr-order",
     "det.wall-clock",
+    "det.float-accum",
     // Library I/O discipline (src/ only).
     "io.stray-stream",
+    // Lock discipline (semantic engine, src/ only).
+    "conc.unguarded-access",
+    "conc.lock-order",
+    "conc.unjoined-thread",
+    // Verification-result flow (semantic engine, src/ only).
+    "flow.dropped-report",
     // Observability naming (src/ only).
     "obs.span-name",
     "obs.metric-name",

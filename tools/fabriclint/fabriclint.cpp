@@ -507,8 +507,8 @@ std::vector<Finding> check_header_self_contained(const std::string& header_path,
            "header does not compile standalone: " + first_error}};
 }
 
-std::string findings_json(const std::vector<Finding>& findings) {
-  std::string out = "{\"schema\": \"vpga.fabriclint.v1\", \"total\": " +
+std::string findings_json(const std::vector<Finding>& findings, long long elapsed_ms) {
+  std::string out = "{\"schema\": \"vpga.fabriclint.v2\", \"total\": " +
                     std::to_string(findings.size()) + ", \"findings\": [";
   bool first = true;
   for (const Finding& f : findings) {
@@ -522,7 +522,9 @@ std::string findings_json(const std::vector<Finding>& findings) {
     append_json_string(out, f.message);
     out += "}";
   }
-  out += "]}";
+  out += "]";
+  if (elapsed_ms >= 0) out += ", \"elapsed_ms\": " + std::to_string(elapsed_ms);
+  out += "}";
   return out;
 }
 

@@ -66,9 +66,27 @@ std::vector<Finding> check_header_self_contained(const std::string& header_path,
                                                  const std::string& include_dir,
                                                  const std::string& compiler);
 
-/// Renders findings as a JSON document (schema vpga.fabriclint.v1), parseable
+/// One file handed to the semantic pass. `rel_path` is repo-relative with
+/// forward slashes; rules only fire for paths under src/ but every file
+/// contributes symbols to the project index.
+struct SourceFile {
+  std::string rel_path;
+  std::string content;
+};
+
+/// The semantic engine (fabriclint v2): analyzes every file with
+/// symbols.hpp, builds the interprocedural call graph (callgraph.hpp) and
+/// runs the project-wide rules — conc.unguarded-access, conc.lock-order,
+/// conc.unjoined-thread, flow.dropped-report, det.float-accum and the
+/// transitive extension of io.stray-stream. Complements the per-TU token
+/// rules of lint_source(); suppression directives apply identically.
+std::vector<Finding> lint_project(const std::vector<SourceFile>& files);
+
+/// Renders findings as a JSON document (schema vpga.fabriclint.v2), parseable
 /// by obs/json.hpp — {"schema", "total", "findings": [{file,line,rule,message}]}.
-std::string findings_json(const std::vector<Finding>& findings);
+/// A non-negative `elapsed_ms` adds the linter's own wall-clock to the footer.
+std::string findings_json(const std::vector<Finding>& findings,
+                          long long elapsed_ms = -1);
 
 /// Stable output order: (file, line, rule, message).
 void sort_findings(std::vector<Finding>& findings);

@@ -4,20 +4,30 @@
 /// and exits nonzero on any unsuppressed finding (docs/LINT.md).
 ///
 /// Usage:
-///   fabriclint [--root DIR] [--json FILE|-] [--headers [COMPILER]] [DIR...]
+///   fabriclint [--root DIR] [--json FILE|-] [--headers [COMPILER]]
+///              [--only PREFIX] [--jobs N] [DIR...]
 ///
 /// DIR... are lint roots relative to --root (default: src bench examples).
-/// --headers additionally compiles every src/**/*.hpp standalone
-/// (hdr.self-contained); the same property is enforced at build time by the
-/// vpga_header_selfcheck target, so CI's fabriclint job runs without it.
+/// Per-file token rules run on a worker pool (--jobs, default hardware
+/// concurrency); findings are merged in file order and sorted, so output is
+/// byte-stable regardless of scheduling. The semantic pass (symbol tables,
+/// call graph, conc.*/flow.* rules) then runs over src/ as one project.
+/// --only keeps only findings whose rule id starts with PREFIX (e.g.
+/// `--only conc.` for CI's static-race cross-check). --headers additionally
+/// compiles every src/**/*.hpp standalone (hdr.self-contained); the same
+/// property is enforced at build time by the vpga_header_selfcheck target,
+/// so CI's fabriclint job runs without it.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fabriclint.hpp"
@@ -42,10 +52,13 @@ std::string rel_slash(const fs::path& p, const fs::path& root) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto t0 = std::chrono::steady_clock::now();
   fs::path root = ".";
   std::string json_out;
   bool headers = false;
   std::string compiler = "c++";
+  std::string only_prefix;
+  std::size_t jobs = std::max(1u, std::thread::hardware_concurrency());
   std::vector<std::string> dirs;
 
   for (int i = 1; i < argc; ++i) {
@@ -54,12 +67,16 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (arg == "--only" && i + 1 < argc) {
+      only_prefix = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::max(1ul, std::stoul(argv[++i]));
     } else if (arg == "--headers") {
       headers = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') compiler = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: fabriclint [--root DIR] [--json FILE|-] [--headers [CXX]] "
-                   "[DIR...]\n";
+                   "[--only PREFIX] [--jobs N] [DIR...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "fabriclint: unknown option " << arg << "\n";
@@ -97,11 +114,39 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
+  // Contents are read once and shared by the token pass and the semantic
+  // pass.
+  std::vector<vpga::fabriclint::SourceFile> sources(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i)
+    sources[i] = {rel_slash(files[i], root), read_file(files[i])};
+
+  // Per-file token rules on a worker pool; results land in per-file slots and
+  // are merged in file order, so output is identical to a serial run.
+  std::vector<std::vector<Finding>> per_file(files.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  const std::size_t nworkers = std::min(jobs, std::max<std::size_t>(1, files.size()));
+  workers.reserve(nworkers);
+  for (std::size_t w = 0; w < nworkers; ++w)
+    workers.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < sources.size(); i = next.fetch_add(1))
+        per_file[i] = vpga::fabriclint::lint_source(sources[i].rel_path,
+                                                    sources[i].content, &registry);
+    });
+  for (std::thread& w : workers) w.join();
+
   std::vector<Finding> findings;
-  for (const fs::path& f : files) {
-    auto file_findings =
-        vpga::fabriclint::lint_source(rel_slash(f, root), read_file(f), &registry);
+  for (const auto& file_findings : per_file)
     findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+
+  // Semantic pass: src/ only — library code is where the lock-discipline and
+  // report-flow contracts live.
+  std::vector<vpga::fabriclint::SourceFile> lib_sources;
+  for (const auto& s : sources)
+    if (s.rel_path.rfind("src/", 0) == 0) lib_sources.push_back(s);
+  if (!lib_sources.empty()) {
+    auto sem = vpga::fabriclint::lint_project(lib_sources);
+    findings.insert(findings.end(), sem.begin(), sem.end());
   }
 
   // Tree-level rule/doc sync: the verify catalogue and fabriclint's own.
@@ -133,12 +178,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!only_prefix.empty()) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const Finding& f) {
+                                    return f.rule.rfind(only_prefix, 0) != 0;
+                                  }),
+                   findings.end());
+  }
+
   vpga::fabriclint::sort_findings(findings);
   for (const Finding& f : findings)
     std::cerr << f.file << ":" << f.line << ": " << f.rule << ": " << f.message << "\n";
 
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
   if (!json_out.empty()) {
-    const std::string doc = vpga::fabriclint::findings_json(findings);
+    const std::string doc = vpga::fabriclint::findings_json(findings, elapsed);
     if (json_out == "-") {
       std::cout << doc << "\n";
     } else {
@@ -148,7 +204,8 @@ int main(int argc, char** argv) {
   }
 
   if (findings.empty()) {
-    std::cerr << "fabriclint: clean (" << files.size() << " files)\n";
+    std::cerr << "fabriclint: clean (" << files.size() << " files, " << elapsed
+              << " ms)\n";
     return 0;
   }
   std::cerr << "fabriclint: " << findings.size() << " finding(s)\n";
