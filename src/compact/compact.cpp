@@ -227,6 +227,9 @@ CompactionResult compact_from(const netlist::Netlist& reference, const netlist::
   synth::MapResult r;
   double best_tiles = 1e18;
   constexpr int kPricingRounds = 3;
+  // Per-round scratch, hoisted so the heap capacity carries across rounds.
+  std::vector<double> pool_demand;
+  std::vector<std::pair<core::ComponentClass, double>> flexible;
   for (int round = 0; round < kPricingRounds; ++round) {
     const obs::Span round_span("compact.pricing_round");
     obs::count("compact.cover_rounds");
@@ -255,8 +258,8 @@ CompactionResult compact_from(const netlist::Netlist& reference, const netlist::
     // FA-half contributes half the full adder's footprint. Needs that accept
     // several pools are water-filled onto the least loaded one, matching what
     // the packer's fungible slot assignment achieves.
-    std::vector<double> pool_demand(pools.size(), 0.0);
-    std::vector<std::pair<core::ComponentClass, double>> flexible;
+    pool_demand.assign(pools.size(), 0.0);
+    flexible.clear();
     for (netlist::NodeId id : cover.netlist.all_nodes()) {
       const auto& n = cover.netlist.node(id);
       if (n.type != netlist::NodeType::kComb || !n.has_config()) continue;

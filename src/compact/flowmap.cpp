@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <queue>
-#include <unordered_map>
 
 #include "common/assert.hpp"
 
@@ -10,6 +9,18 @@ namespace vpga::compact {
 namespace {
 
 using aig::Aig;
+
+/// Reusable node→vertex scratch for CutFeasibility, indexed by AIG node id
+/// with an epoch stamp so queries never clear the arrays. flowmap_labels runs
+/// one feasibility query per AND node; flat indexed lookups here replace the
+/// per-query hash maps that dominated the compact-stage profile.
+struct CutScratch {
+  std::vector<int> stamp;         ///< last epoch that touched the node
+  std::vector<int> boundary_in;   ///< split in-vertex; -1 when not boundary
+  std::vector<int> boundary_out;  ///< split out-vertex; -1 when not boundary
+  std::vector<int> internal;      ///< internal vertex; -1 when not internal
+  int epoch = 0;
+};
 
 /// Unit-capacity node-cut feasibility network for one labeling query.
 ///
@@ -21,8 +32,15 @@ using aig::Aig;
 class CutFeasibility {
  public:
   CutFeasibility(const Aig& g, std::uint32_t target, const std::vector<int>& labels,
-                 int p)
-      : g_(g), labels_(labels), p_(p) {
+                 int p, CutScratch& scratch)
+      : g_(g), labels_(labels), p_(p), scratch_(scratch) {
+    ++scratch_.epoch;
+    if (scratch_.stamp.size() < g.num_nodes()) {
+      scratch_.stamp.resize(g.num_nodes(), 0);
+      scratch_.boundary_in.resize(g.num_nodes(), -1);
+      scratch_.boundary_out.resize(g.num_nodes(), -1);
+      scratch_.internal.resize(g.num_nodes(), -1);
+    }
     source_ = new_vertex();
     sink_ = new_vertex();
     collect(target, sink_);
@@ -55,11 +73,11 @@ class CutFeasibility {
       }
     }
     std::vector<std::uint32_t> leaves;
-    // fabriclint: sorted-downstream -- leaves are sorted before returning.
-    for (const auto& [node, vpair] : boundary_) {
+    leaves.reserve(boundary_nodes_.size());
+    for (const std::uint32_t node : boundary_nodes_) {
       // Cut leaf: in-vertex reachable, out-vertex not (split edge saturated).
-      if (reach[static_cast<std::size_t>(vpair.first)] &&
-          !reach[static_cast<std::size_t>(vpair.second)])
+      if (reach[static_cast<std::size_t>(scratch_.boundary_in[node])] &&
+          !reach[static_cast<std::size_t>(scratch_.boundary_out[node])])
         leaves.push_back(node);
     }
     std::sort(leaves.begin(), leaves.end());
@@ -90,18 +108,26 @@ class CutFeasibility {
 
   /// Returns the local out-vertex of `node`, building its subnetwork once.
   int vertex_for(std::uint32_t node) {
+    int& st = scratch_.stamp[node];
+    if (st != scratch_.epoch) {  // first touch this query: reset the slots
+      st = scratch_.epoch;
+      scratch_.boundary_out[node] = -1;
+      scratch_.internal[node] = -1;
+    }
     if (labels_[node] <= p_ - 1 || !g_.node(node).is_and) {
-      if (auto it = boundary_.find(node); it != boundary_.end()) return it->second.second;
+      if (scratch_.boundary_out[node] >= 0) return scratch_.boundary_out[node];
       const int in = new_vertex();
       const int out = new_vertex();
       add_edge(in, out, 1);       // unit node capacity: candidate cut leaf
       add_edge(source_, in, kInf);
-      boundary_.emplace(node, std::make_pair(in, out));
+      scratch_.boundary_in[node] = in;
+      scratch_.boundary_out[node] = out;
+      boundary_nodes_.push_back(node);
       return out;
     }
-    if (auto it = internal_.find(node); it != internal_.end()) return it->second;
+    if (scratch_.internal[node] >= 0) return scratch_.internal[node];
     const int v = new_vertex();  // internal label-p node: uncuttable
-    internal_.emplace(node, v);
+    scratch_.internal[node] = v;
     collect(node, v);
     return v;
   }
@@ -145,17 +171,18 @@ class CutFeasibility {
   const Aig& g_;
   const std::vector<int>& labels_;
   int p_;
+  CutScratch& scratch_;
   int source_ = -1, sink_ = -1;
   std::vector<std::vector<int>> adj_;
   std::vector<Edge> edges_;
-  std::unordered_map<std::uint32_t, std::pair<int, int>> boundary_;
-  std::unordered_map<std::uint32_t, int> internal_;
+  std::vector<std::uint32_t> boundary_nodes_;  ///< boundary nodes, DFS order
 };
 
 }  // namespace
 
 std::vector<int> flowmap_labels(const Aig& g, int k) {
   std::vector<int> labels(g.num_nodes(), 0);
+  CutScratch scratch;  // shared across the per-node feasibility queries
   for (std::uint32_t n = 1; n < g.num_nodes(); ++n) {
     if (!g.node(n).is_and) continue;  // inputs stay 0
     const int p = std::max(labels[aig::node_of(g.node(n).fanin0)],
@@ -164,7 +191,7 @@ std::vector<int> flowmap_labels(const Aig& g, int k) {
       labels[n] = 1;  // an AND of inputs: depth 1, trivially 3-feasible
       continue;
     }
-    CutFeasibility net(g, n, labels, p);
+    CutFeasibility net(g, n, labels, p, scratch);
     labels[n] = net.max_flow(k) <= k ? p : p + 1;
   }
   return labels;
@@ -176,7 +203,8 @@ std::vector<std::uint32_t> flowmap_cut(const Aig& g, std::uint32_t target,
   const int p = std::max(labels[aig::node_of(g.node(target).fanin0)],
                          labels[aig::node_of(g.node(target).fanin1)]);
   if (p > 0 && labels[target] == p) {
-    CutFeasibility net(g, target, labels, p);
+    CutScratch scratch;
+    CutFeasibility net(g, target, labels, p, scratch);
     const int flow = net.max_flow(k);
     VPGA_ASSERT(flow <= k);
     return net.min_cut_leaves();

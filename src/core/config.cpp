@@ -17,6 +17,7 @@ using logic::FnSet3;
 /// Literal/constant sources available at any via-programmable pin.
 std::vector<std::uint8_t> literal_sources() {
   std::vector<std::uint8_t> out;
+  out.reserve(8);  // 3 variables x 2 polarities + the two constants
   for (int v = 0; v < 3; ++v) {
     const auto t = logic::TruthTable::var(3, v);
     out.push_back(static_cast<std::uint8_t>(t.bits()));

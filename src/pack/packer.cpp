@@ -1,10 +1,9 @@
 #include "pack/packer.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <map>
 #include <mutex>
-#include <unordered_map>
 
 #include "common/assert.hpp"
 #include "common/concurrency.hpp"
@@ -48,17 +47,24 @@ struct Group {
 
 std::vector<Group> build_groups(const Netlist& nl) {
   std::vector<Group> groups;
-  std::unordered_map<std::uint32_t, std::size_t> index_of_rep;
+  // Reps are node ids, so a dense index beats a hash map in the packer's
+  // hottest entry path; one counting pass sizes `groups` exactly.
+  constexpr std::size_t kNoGroup = ~std::size_t{0};
+  std::vector<std::size_t> index_of_rep(nl.num_nodes(), kNoGroup);
+  std::size_t consuming = 0;
+  for (NodeId id : nl.all_nodes())
+    if (consumes_slots(nl, id)) ++consuming;
+  groups.reserve(consuming);
   for (NodeId id : nl.all_nodes()) {
     if (!consumes_slots(nl, id)) continue;
     const auto& n = nl.node(id);
     const std::uint32_t rep = n.in_macro() ? n.macro_rep.value() : id.value();
-    auto it = index_of_rep.find(rep);
-    if (it == index_of_rep.end()) {
-      it = index_of_rep.emplace(rep, groups.size()).first;
+    std::size_t& slot = index_of_rep[rep];
+    if (slot == kNoGroup) {
+      slot = groups.size();
       groups.push_back(Group{rep, {}, {}});
     }
-    groups[it->second].members.push_back(id.value());
+    groups[slot].members.push_back(id.value());
   }
   for (auto& g : groups) {
     if (g.members.size() > 1 || nl.node(NodeId(g.rep)).in_macro()) {
@@ -76,24 +82,29 @@ struct Tile {
   std::vector<ConfigKind> contents;
 };
 
+/// Per-class demand tally. ComponentClass is a bitmask over the
+/// kNumPlbComponents component kinds, so every possible class fits in a flat
+/// array of 2^kNumPlbComponents counters — trivially copyable and walked
+/// without node churn inside the Hall subset loop.
+using DemandTally = std::array<int, std::size_t{1} << core::kNumPlbComponents>;
+
 /// Hall-condition feasibility of a demand multiset against `tiles` copies of
 /// the architecture's slots (necessary aggregate condition used to balance
 /// quadrants; per-tile grouping is enforced later by fits_in_one_plb).
-bool hall_feasible(const PlbArchitecture& arch, int tiles,
-                   const std::map<core::ComponentClass, int>& demand) {
+bool hall_feasible(const PlbArchitecture& arch, int tiles, const DemandTally& demand) {
   for (unsigned subset = 0; subset < (1u << core::kNumPlbComponents); ++subset) {
     int cap = 0;
     for (int c = 0; c < core::kNumPlbComponents; ++c)
       if (subset & (1u << c)) cap += tiles * arch.component_count[static_cast<std::size_t>(c)];
     int need = 0;
-    for (const auto& [mask, count] : demand)
-      if ((mask & ~subset) == 0) need += count;
+    for (unsigned mask = 0; mask < demand.size(); ++mask)
+      if ((mask & ~subset) == 0) need += demand[mask];
     if (need > cap) return false;
   }
   return true;
 }
 
-void add_demand(std::map<core::ComponentClass, int>& d, const Group& g) {
+void add_demand(DemandTally& d, const Group& g) {
   for (ConfigKind k : g.configs)
     for (auto cls : core::config_spec(k).needs) ++d[cls];
 }
@@ -116,6 +127,7 @@ PackTally& pack_tally_storage() {
 int first_fit_tile_count(const Netlist& nl, const PlbArchitecture& arch) {
   const auto groups = build_groups(nl);
   std::vector<Tile> tiles;
+  tiles.reserve(groups.size());  // worst case: every group opens a tile
   for (const auto& g : groups) {
     bool placed = false;
     for (auto& t : tiles) {
@@ -153,14 +165,18 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
     return c;
   };
 
+  // Scratch reused across grow attempts: the grid dimensions change per
+  // attempt but the heap capacity carries over.
+  std::vector<Tile> tiles;
+  std::vector<int> tile_of;
   for (;; target_tiles = std::max(target_tiles + 1,
                                   static_cast<int>(target_tiles * 1.06)),
           ++out.grow_attempts) {
     const obs::Span attempt_span("pack.attempt");
     const int gw = std::max(1, static_cast<int>(std::ceil(std::sqrt(target_tiles))));
     const int gh = (target_tiles + gw - 1) / gw;
-    std::vector<Tile> tiles(static_cast<std::size_t>(gw) * gh);
-    std::vector<int> tile_of(nl.num_nodes(), -1);
+    tiles.assign(static_cast<std::size_t>(gw) * gh, Tile{});
+    tile_of.assign(nl.num_nodes(), -1);
 
     // Map placed coordinates onto the tile grid (group position = its rep's).
     const double sx = placed.width_um > 0 ? gw / placed.width_um : 1.0;
@@ -207,7 +223,7 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
             return q;
         return 0;
       };
-      std::map<core::ComponentClass, int> demand[4];
+      DemandTally demand[4]{};
       for (auto gi : r.items) {
         const int q = quadrant_of(gi);
         quad[q].items.push_back(gi);
@@ -236,7 +252,7 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
             int cap = 0, used = 0;
             for (int c = 0; c < core::kNumPlbComponents; ++c)
               cap += quad[q2].w * quad[q2].h * arch.component_count[static_cast<std::size_t>(c)];
-            for (const auto& [mask, count] : d2) used += count;
+            for (int count : d2) used += count;
             if (cap - used > best_slack) {
               best_slack = cap - used;
               best = q2;
@@ -301,8 +317,10 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
     constexpr std::size_t kBigFootprint = 3;  // >= XOANDMX / FA class
     {
       const obs::Span fill_span("pack.fill");
+      std::vector<std::size_t> overflow;
+      overflow.reserve(groups.size());  // worst case: nothing fits its leaf
       for (const bool big_phase : {true, false}) {
-        std::vector<std::size_t> overflow;
+        overflow.clear();
         for (const auto& leaf : leaves)
           for (auto gi : leaf.items) {
             if ((footprint(gi) >= kBigFootprint) != big_phase) continue;

@@ -16,7 +16,9 @@
 
 #include "callgraph.hpp"
 #include "catalogue.hpp"
+#include "dataflow.hpp"
 #include "fabriclint.hpp"
+#include "hotness.hpp"
 #include "obs/json.hpp"
 #include "symbols.hpp"
 
@@ -853,6 +855,428 @@ TEST(IoStrayStreamTransitive, SuppressedSinksDoNotPropagate) {
 }
 
 // ---------------------------------------------------------------------------
+// Dataflow layer (fabriclint v3): loop recovery, reaching defs, reserve
+// domination
+// ---------------------------------------------------------------------------
+
+const vpga::fabriclint::FunctionInfo* find_fn(const vpga::fabriclint::TuSymbols& tu,
+                                              std::string_view name) {
+  for (const auto& fn : tu.functions)
+    if (fn.name == name && fn.is_definition) return &fn;
+  return nullptr;
+}
+
+TEST(Dataflow, RecoversLoopStructureWithNestingAndRangeExpr) {
+  const auto tu = vpga::fabriclint::analyze_tu("src/x/x.cpp", R"cpp(
+    #include <vector>
+    int f(int n, const std::vector<int>& vals) {
+      int s = 0;
+      for (int i = 0; i < n; ++i) {
+        while (s < n) { ++s; }
+      }
+      do { --n; } while (n > 0);
+      for (int v : vals) s += v;
+      return s;
+    }
+  )cpp");
+  const auto* fn = find_fn(tu, "f");
+  ASSERT_NE(fn, nullptr);
+  const auto df = vpga::fabriclint::analyze_dataflow(tu, *fn);
+  ASSERT_EQ(df.loops.size(), 4u);
+  EXPECT_EQ(df.loops[0].depth, 0);   // for
+  EXPECT_EQ(df.loops[1].depth, 1);   // nested while
+  EXPECT_EQ(df.loops[2].depth, 0);   // do-while
+  EXPECT_FALSE(df.loops[0].range_for);
+  EXPECT_TRUE(df.loops[3].range_for);
+  EXPECT_EQ(df.loops[3].range_expr, "vals");
+  // innermost_loop attributes a token inside the while to the while.
+  const auto* inner = df.innermost_loop(df.loops[1].body_begin + 1);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->header_tok, df.loops[1].header_tok);
+}
+
+TEST(Dataflow, ReachingDefsKillAndConditionalAccumulate) {
+  const auto tu = vpga::fabriclint::analyze_tu("src/x/x.cpp", R"cpp(
+    int f(int c) {
+      int x = 1;
+      if (c) { x = 2; }
+      int y = x;
+      x = 3;
+      int z = x;
+      return y + z;
+    }
+  )cpp");
+  const auto* fn = find_fn(tu, "f");
+  ASSERT_NE(fn, nullptr);
+  const auto df = vpga::fabriclint::analyze_dataflow(tu, *fn);
+  std::vector<const vpga::fabriclint::Use*> x_uses;
+  for (const auto& u : df.uses)
+    if (u.name == "x") x_uses.push_back(&u);
+  ASSERT_EQ(x_uses.size(), 2u);
+  // `int y = x`: the unconditional `x = 1` plus the conditional `x = 2`.
+  auto reach1 = vpga::fabriclint::reaching_defs(df, *x_uses[0]);
+  ASSERT_EQ(reach1.size(), 2u);
+  EXPECT_EQ(reach1[0].line, 3);
+  EXPECT_EQ(reach1[1].line, 4);
+  EXPECT_EQ(reach1[1].block_depth, 1);
+  // `int z = x`: the unconditional `x = 3` kills everything earlier.
+  auto reach2 = vpga::fabriclint::reaching_defs(df, *x_uses[1]);
+  ASSERT_EQ(reach2.size(), 1u);
+  EXPECT_EQ(reach2[0].line, 6);
+}
+
+TEST(Dataflow, ReserveDominatesPushBackLoop) {
+  const auto tu = vpga::fabriclint::analyze_tu("src/x/x.cpp", R"cpp(
+    #include <vector>
+    void f(int n) {
+      std::vector<int> a;
+      a.reserve(n);
+      for (int i = 0; i < n; ++i) a.push_back(i);
+      std::vector<int> b;
+      for (int i = 0; i < n; ++i) b.push_back(i);
+    }
+  )cpp");
+  const auto* fn = find_fn(tu, "f");
+  ASSERT_NE(fn, nullptr);
+  const auto df = vpga::fabriclint::analyze_dataflow(tu, *fn);
+  ASSERT_EQ(df.loops.size(), 2u);
+  EXPECT_TRUE(vpga::fabriclint::reserve_dominates(tu, *fn, "a", df.loops[0]));
+  EXPECT_FALSE(vpga::fabriclint::reserve_dominates(tu, *fn, "b", df.loops[1]));
+}
+
+TEST(Dataflow, MarksRunOnceStaticInitializerLambda) {
+  const auto tu = vpga::fabriclint::analyze_tu("src/x/x.cpp", R"cpp(
+    #include <vector>
+    int f() {
+      static const std::vector<int> table = []{
+        std::vector<int> out;
+        for (int i = 0; i < 8; ++i) out.push_back(i);
+        return out;
+      }();
+      return table[0];
+    }
+  )cpp");
+  const auto* fn = find_fn(tu, "f");
+  ASSERT_NE(fn, nullptr);
+  const auto df = vpga::fabriclint::analyze_dataflow(tu, *fn);
+  ASSERT_EQ(df.loops.size(), 1u);
+  EXPECT_TRUE(df.in_run_once_lambda(df.loops[0].body_begin + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Hotness: profile parsing and call-graph propagation
+// ---------------------------------------------------------------------------
+
+TEST(Hotness, LoadsCheckedInMiniProfile) {
+  const std::filesystem::path root(VPGA_REPO_ROOT);
+  vpga::fabriclint::StageProfile profile;
+  std::string error;
+  ASSERT_TRUE(vpga::fabriclint::load_flow_profile(
+      read_file(root / "tests" / "data" / "mini_flow_bench.json"), profile, &error))
+      << error;
+  EXPECT_TRUE(profile.loaded);
+  EXPECT_DOUBLE_EQ(profile.stage_us.at("stage.pack"), 1000.0);
+  EXPECT_DOUBLE_EQ(profile.stage_us.at("stage.map"), 300.0);
+  EXPECT_DOUBLE_EQ(profile.stage_us.at("stage.sta"), 100.0);
+}
+
+TEST(Hotness, RejectsWrongSchema) {
+  vpga::fabriclint::StageProfile profile;
+  EXPECT_FALSE(vpga::fabriclint::load_flow_profile(
+      R"({"schema": "vpga.fabriclint.v3", "runs": []})", profile));
+  EXPECT_FALSE(profile.loaded);
+}
+
+TEST(Hotness, PropagatesStageWeightOverCallGraph) {
+  const std::filesystem::path root(VPGA_REPO_ROOT);
+  vpga::fabriclint::StageProfile profile;
+  ASSERT_TRUE(vpga::fabriclint::load_flow_profile(
+      read_file(root / "tests" / "data" / "mini_flow_bench.json"), profile));
+  std::vector<vpga::fabriclint::TuSymbols> tus;
+  tus.push_back(vpga::fabriclint::analyze_tu("src/pack/packer.cpp", R"cpp(
+    void shared_util();
+    namespace vpga::pack {
+    void helper() { shared_util(); }
+    void pack() { helper(); }
+    }
+  )cpp"));
+  tus.push_back(vpga::fabriclint::analyze_tu("src/synth/mapper.cpp", R"cpp(
+    void shared_util();
+    namespace vpga::synth {
+    void tech_map() { shared_util(); }
+    }
+  )cpp"));
+  tus.push_back(vpga::fabriclint::analyze_tu("src/common/util.cpp", R"cpp(
+    void shared_util() {}
+    void cold_path() {}
+  )cpp"));
+  const auto graph = vpga::fabriclint::build_call_graph(tus);
+  const auto scores = vpga::fabriclint::hotness_scores(graph, profile);
+  ASSERT_EQ(scores.size(), static_cast<std::size_t>(graph.function_count()));
+  std::map<std::string, double> by_name;
+  for (int i = 0; i < graph.function_count(); ++i)
+    by_name[graph.fn(i).name] = scores[static_cast<std::size_t>(i)];
+  // shared_util is reached from both stage.pack (1000us) and stage.map
+  // (300us), so it is the hottest function and normalizes to 1.
+  EXPECT_DOUBLE_EQ(by_name.at("shared_util"), 1.0);
+  // pack/helper carry the pack stage only; tech_map the map stage only.
+  EXPECT_NEAR(by_name.at("pack"), 1000.0 / 1300.0, 1e-9);
+  EXPECT_NEAR(by_name.at("helper"), 1000.0 / 1300.0, 1e-9);
+  EXPECT_NEAR(by_name.at("tech_map"), 300.0 / 1300.0, 1e-9);
+  EXPECT_DOUBLE_EQ(by_name.at("cold_path"), 0.0);
+}
+
+TEST(Hotness, StageEntryMapCoversTheFlowStages) {
+  const auto& entries = vpga::fabriclint::stage_entry_functions();
+  EXPECT_EQ(entries.at("stage.pack"), "pack");
+  EXPECT_EQ(entries.at("stage.map"), "tech_map");
+  EXPECT_EQ(entries.at("stage.compact"), "compact_from");
+}
+
+// ---------------------------------------------------------------------------
+// Profile-gated perf rules: perf.map-in-hot-loop, perf.growth-in-loop,
+// perf.alloc-in-hot-loop (fixture entry point `pack` + a pack-only profile
+// make the fixture function maximally hot)
+// ---------------------------------------------------------------------------
+
+vpga::fabriclint::StageProfile pack_only_profile() {
+  vpga::fabriclint::StageProfile p;
+  p.stage_us["stage.pack"] = 1000.0;
+  p.total_us = 1000.0;
+  p.loaded = true;
+  return p;
+}
+
+std::vector<Finding> run_project_profiled(std::vector<SourceFile> files,
+                                          std::vector<Finding>* worklist = nullptr) {
+  const auto profile = pack_only_profile();
+  vpga::fabriclint::ProjectOptions opts;
+  opts.profile = &profile;
+  opts.perf_worklist = worklist;
+  auto findings = vpga::fabriclint::lint_project(std::move(files), opts);
+  record(findings);
+  return findings;
+}
+
+TEST(PerfMapInHotLoop, FlagsMapLookupAndSubscriptInHotLoop) {
+  const auto findings = run_project_profiled({{"src/pack/packer.cpp", R"cpp(
+    #include <map>
+    #include <vector>
+    namespace vpga::pack {
+    int pack(const std::vector<int>& ids) {
+      std::map<int, int> index;
+      int hits = 0;
+      for (int id : ids) {
+        if (index.find(id) != index.end()) ++hits;
+        index[id] = hits;
+      }
+      return hits;
+    }
+    }
+  )cpp"}});
+  EXPECT_TRUE(has_rule(findings, "perf.map-in-hot-loop"));
+}
+
+TEST(PerfMapInHotLoop, FlatVectorLookupIsClean) {
+  const auto findings = run_project_profiled({{"src/pack/packer.cpp", R"cpp(
+    #include <vector>
+    namespace vpga::pack {
+    int pack(const std::vector<int>& ids) {
+      std::vector<int> seen(256, 0);
+      int hits = 0;
+      for (int id : ids) hits += seen[id];
+      return hits;
+    }
+    }
+  )cpp"}});
+  EXPECT_FALSE(has_rule(findings, "perf.map-in-hot-loop"));
+}
+
+TEST(PerfMapInHotLoop, ColdFunctionsOnlyLandOnTheWorklist) {
+  // No profile at all: the gated rule must stay silent but still feed the
+  // perf worklist (with hotness 0) so --perf-report sees the whole tree.
+  std::vector<Finding> worklist;
+  vpga::fabriclint::ProjectOptions opts;
+  opts.perf_worklist = &worklist;
+  const auto findings = vpga::fabriclint::lint_project(
+      {{"src/pack/packer.cpp", R"cpp(
+    #include <map>
+    #include <vector>
+    namespace vpga::pack {
+    int pack(const std::vector<int>& ids) {
+      std::map<int, int> index;
+      int hits = 0;
+      for (int id : ids) hits += index.count(id);
+      return hits;
+    }
+    }
+  )cpp"}},
+      opts);
+  EXPECT_FALSE(has_rule(findings, "perf.map-in-hot-loop"));
+  ASSERT_TRUE(has_rule(worklist, "perf.map-in-hot-loop"));
+  EXPECT_DOUBLE_EQ(worklist[0].hotness, 0.0);
+}
+
+TEST(PerfGrowthInLoop, FlagsPushBackWithoutReserve) {
+  const auto findings = run_project_profiled({{"src/pack/packer.cpp", R"cpp(
+    #include <vector>
+    namespace vpga::pack {
+    std::vector<int> pack(int n) {
+      std::vector<int> out;
+      for (int i = 0; i < n; ++i) out.push_back(i);
+      return out;
+    }
+    }
+  )cpp"}});
+  EXPECT_TRUE(has_rule(findings, "perf.growth-in-loop"));
+}
+
+TEST(PerfGrowthInLoop, DominatingReserveIsClean) {
+  const auto findings = run_project_profiled({{"src/pack/packer.cpp", R"cpp(
+    #include <vector>
+    namespace vpga::pack {
+    std::vector<int> pack(int n) {
+      std::vector<int> out;
+      out.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) out.push_back(i);
+      return out;
+    }
+    }
+  )cpp"}});
+  EXPECT_FALSE(has_rule(findings, "perf.growth-in-loop"));
+}
+
+TEST(PerfAllocInHotLoop, FlagsPerIterationContainerAndNew) {
+  const auto findings = run_project_profiled({{"src/pack/packer.cpp", R"cpp(
+    #include <vector>
+    namespace vpga::pack {
+    int pack(int n) {
+      int s = 0;
+      for (int i = 0; i < n; ++i) {
+        std::vector<int> scratch(8, 0);
+        s += scratch[0] + *(new int(i));
+      }
+      return s;
+    }
+    }
+  )cpp"}});
+  EXPECT_TRUE(has_rule(findings, "perf.alloc-in-hot-loop"));
+}
+
+TEST(PerfAllocInHotLoop, HoistedScratchAndRunOnceLambdaAreClean) {
+  const auto findings = run_project_profiled({{"src/pack/packer.cpp", R"cpp(
+    #include <vector>
+    namespace vpga::pack {
+    int pack(int n) {
+      std::vector<int> scratch;
+      int s = 0;
+      for (int i = 0; i < n; ++i) {
+        scratch.assign(8, 0);
+        s += scratch[0];
+      }
+      static const std::vector<int> table = []{
+        std::vector<int> out;
+        for (int i = 0; i < 4; ++i) {
+          std::vector<int> tmp(2, i);
+          out.push_back(tmp[0]);
+        }
+        return out;
+      }();
+      return s + table[0];
+    }
+    }
+  )cpp"}});
+  EXPECT_FALSE(has_rule(findings, "perf.alloc-in-hot-loop"));
+}
+
+// ---------------------------------------------------------------------------
+// perf.copy-heavy-param (ungated)
+// ---------------------------------------------------------------------------
+
+TEST(PerfCopyHeavyParam, FlagsNetlistByValue) {
+  const auto findings = run_project({{"src/x/x.cpp", R"cpp(
+    namespace vpga {
+    int count_nodes(netlist::Netlist nl) { return 0; }
+    }
+  )cpp"}});
+  EXPECT_TRUE(has_rule(findings, "perf.copy-heavy-param"));
+}
+
+TEST(PerfCopyHeavyParam, ConstRefAndSmallTypesAreClean) {
+  const auto findings = run_project({{"src/x/x.cpp", R"cpp(
+    namespace vpga {
+    int count_nodes(const netlist::Netlist& nl, int scale) { return scale; }
+    }
+  )cpp"}});
+  EXPECT_FALSE(has_rule(findings, "perf.copy-heavy-param"));
+}
+
+// ---------------------------------------------------------------------------
+// lifetime.dangling-local (ungated)
+// ---------------------------------------------------------------------------
+
+TEST(LifetimeDanglingLocal, FlagsReferenceToLocal) {
+  const auto findings = run_project({{"src/x/x.cpp", R"cpp(
+    #include <string>
+    namespace vpga {
+    const std::string& name() {
+      std::string s = "x";
+      return s;
+    }
+    }
+  )cpp"}});
+  EXPECT_TRUE(has_rule(findings, "lifetime.dangling-local"));
+}
+
+TEST(LifetimeDanglingLocal, StaticLocalAndByValueReturnAreClean) {
+  const auto findings = run_project({{"src/x/x.cpp", R"cpp(
+    #include <string>
+    namespace vpga {
+    const std::string& cached() {
+      static std::string s = "x";
+      return s;
+    }
+    std::string copied() {
+      std::string s = "x";
+      return s;
+    }
+    }
+  )cpp"}});
+  EXPECT_FALSE(has_rule(findings, "lifetime.dangling-local"));
+}
+
+// ---------------------------------------------------------------------------
+// det.iter-invalidation (ungated)
+// ---------------------------------------------------------------------------
+
+TEST(DetIterInvalidation, FlagsMutationOfIteratedContainer) {
+  const auto findings = run_project({{"src/x/x.cpp", R"cpp(
+    #include <vector>
+    namespace vpga {
+    void mirror(std::vector<int>& xs) {
+      for (int x : xs) {
+        if (x > 0) xs.push_back(-x);
+      }
+    }
+    }
+  )cpp"}});
+  EXPECT_TRUE(has_rule(findings, "det.iter-invalidation"));
+}
+
+TEST(DetIterInvalidation, MutatingAnotherContainerIsClean) {
+  const auto findings = run_project({{"src/x/x.cpp", R"cpp(
+    #include <vector>
+    namespace vpga {
+    void mirror(const std::vector<int>& xs, std::vector<int>& out) {
+      out.reserve(xs.size());
+      for (int x : xs) out.push_back(-x);
+    }
+    }
+  )cpp"}});
+  EXPECT_FALSE(has_rule(findings, "det.iter-invalidation"));
+}
+
+// ---------------------------------------------------------------------------
 // Real-tree semantic cleanliness (the lint gate the fabriclint ctest also
 // enforces, kept here so a unit-test run catches regressions without the CLI)
 // ---------------------------------------------------------------------------
@@ -887,7 +1311,7 @@ TEST(JsonOutput, RoundTripsThroughBundledParser) {
   std::string error;
   ASSERT_TRUE(vpga::obs::json::parse(doc, parsed, &error)) << error;
   ASSERT_TRUE(parsed.is_object());
-  EXPECT_EQ(parsed.find("schema")->string, "vpga.fabriclint.v2");
+  EXPECT_EQ(parsed.find("schema")->string, "vpga.fabriclint.v3");
   // Without an elapsed time the footer is omitted entirely.
   EXPECT_EQ(parsed.find("elapsed_ms"), nullptr);
   EXPECT_EQ(static_cast<std::size_t>(parsed.find("total")->number), findings.size());
@@ -899,6 +1323,30 @@ TEST(JsonOutput, RoundTripsThroughBundledParser) {
   EXPECT_EQ(static_cast<int>(first.find("line")->number), findings[0].line);
   EXPECT_EQ(first.find("rule")->string, findings[0].rule);
   EXPECT_EQ(first.find("message")->string, findings[0].message);
+  ASSERT_NE(first.find("hotness"), nullptr);
+  EXPECT_DOUBLE_EQ(first.find("hotness")->number, findings[0].hotness);
+}
+
+TEST(JsonOutput, PerfReportIsRankedByHotnessThenPosition) {
+  std::vector<Finding> worklist = {
+      {"src/b.cpp", 10, "perf.growth-in-loop", "m1", 0.25},
+      {"src/a.cpp", 5, "perf.map-in-hot-loop", "m2", 0.75},
+      {"src/a.cpp", 2, "perf.alloc-in-hot-loop", "m3", 0.25},
+  };
+  const std::string doc = vpga::fabriclint::perf_report_json(worklist, "BENCH_flow.json");
+  vpga::obs::json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(vpga::obs::json::parse(doc, parsed, &error)) << error;
+  EXPECT_EQ(parsed.find("schema")->string, "vpga.fabriclint.perf.v1");
+  EXPECT_EQ(parsed.find("profile")->string, "BENCH_flow.json");
+  const auto* arr = parsed.find("findings");
+  ASSERT_TRUE(arr != nullptr && arr->is_array());
+  ASSERT_EQ(arr->array.size(), 3u);
+  EXPECT_EQ(arr->array[0].find("file")->string, "src/a.cpp");   // hottest first
+  EXPECT_DOUBLE_EQ(arr->array[0].find("hotness")->number, 0.75);
+  EXPECT_EQ(arr->array[1].find("file")->string, "src/a.cpp");   // then file order
+  EXPECT_EQ(static_cast<int>(arr->array[1].find("line")->number), 2);
+  EXPECT_EQ(arr->array[2].find("file")->string, "src/b.cpp");
 }
 
 TEST(JsonOutput, EmptyFindingsIsValidDocument) {

@@ -15,13 +15,22 @@
 
 namespace vpga::fabriclint {
 
-inline constexpr std::array<std::string_view, 15> kLintCatalogue = {
+inline constexpr std::array<std::string_view, 21> kLintCatalogue = {
     // Determinism (all walked trees).
     "det.unordered-iter",
     "det.raw-rng",
     "det.ptr-order",
     "det.wall-clock",
     "det.float-accum",
+    "det.iter-invalidation",
+    // Performance (semantic engine + dataflow, src/ only; the hot-loop rules
+    // additionally gate on the BENCH_flow.json hotness score).
+    "perf.map-in-hot-loop",
+    "perf.growth-in-loop",
+    "perf.copy-heavy-param",
+    "perf.alloc-in-hot-loop",
+    // Lifetime (semantic engine + dataflow, src/ only).
+    "lifetime.dangling-local",
     // Library I/O discipline (src/ only).
     "io.stray-stream",
     // Lock discipline (semantic engine, src/ only).

@@ -1,0 +1,82 @@
+#include "hotness.hpp"
+
+#include <deque>
+
+#include "obs/json.hpp"
+
+namespace vpga::fabriclint {
+
+bool load_flow_profile(std::string_view json_text, StageProfile& out,
+                       std::string* error) {
+  namespace json = vpga::obs::json;
+  json::Value doc;
+  if (!json::parse(json_text, doc, error)) return false;
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string.rfind("vpga.flow_bench.", 0) != 0) {
+    if (error != nullptr) *error = "not a vpga.flow_bench document";
+    return false;
+  }
+  const json::Value* runs = doc.find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    if (error != nullptr) *error = "missing runs[]";
+    return false;
+  }
+  for (const json::Value& run : runs->array) {
+    const json::Value* stages = run.find("stages");
+    if (stages == nullptr || !stages->is_object()) continue;
+    for (const auto& [name, us] : stages->object) {
+      if (!us.is_number()) continue;
+      out.stage_us[name] += us.number;
+      out.total_us += us.number;
+    }
+  }
+  out.loaded = true;
+  return true;
+}
+
+const std::map<std::string, std::string>& stage_entry_functions() {
+  // One subsystem entry point per stage span in src/flow/flow.cpp.
+  static const std::map<std::string, std::string> entries = {
+      {"stage.verify", "check"},        {"stage.map", "tech_map"},
+      {"stage.compact", "compact_from"}, {"stage.buffer", "insert_buffers"},
+      {"stage.place", "place"},         {"stage.pack", "pack"},
+      {"stage.route", "route"},         {"stage.sta", "analyze"},
+  };
+  return entries;
+}
+
+std::vector<double> hotness_scores(const CallGraph& graph, const StageProfile& profile) {
+  std::vector<double> weight(static_cast<std::size_t>(graph.function_count()), 0.0);
+  for (const auto& [stage, entry] : stage_entry_functions()) {
+    const auto it = profile.stage_us.find(stage);
+    if (it == profile.stage_us.end() || it->second <= 0.0) continue;
+    // Seed every definition matching the entry name (the over-approximating
+    // graph may hold several: place::place, overloads, ...), then flood the
+    // stage's wall-clock forward over callee edges.
+    std::vector<bool> seen(weight.size(), false);
+    std::deque<int> work;
+    for (int i = 0; i < graph.function_count(); ++i)
+      if (graph.fn(i).name == entry) {
+        seen[static_cast<std::size_t>(i)] = true;
+        work.push_back(i);
+      }
+    while (!work.empty()) {
+      const int cur = work.front();
+      work.pop_front();
+      weight[static_cast<std::size_t>(cur)] += it->second;
+      for (const CallGraph::Edge& e : graph.callees(cur)) {
+        if (seen[static_cast<std::size_t>(e.to)]) continue;
+        seen[static_cast<std::size_t>(e.to)] = true;
+        work.push_back(e.to);
+      }
+    }
+  }
+  double max = 0.0;
+  for (const double w : weight) max = max < w ? w : max;
+  if (max > 0.0)
+    for (double& w : weight) w /= max;
+  return weight;
+}
+
+}  // namespace vpga::fabriclint

@@ -1,0 +1,46 @@
+#pragma once
+/// \file hotness.hpp
+/// Profile-guided hotness scoring for fabriclint v3.
+///
+/// The obs subsystem's flow benchmark (bench/flow_bench_json.cpp) emits
+/// BENCH_flow.json: per-run wall-clock per flow stage span (stage.map,
+/// stage.pack, ...). load_flow_profile() aggregates those stage timings;
+/// hotness_scores() maps each stage to the flow entry point it times
+/// (src/flow/flow.cpp calls exactly one subsystem entry under each stage
+/// span), seeds every definition of that entry in the call graph with the
+/// stage's aggregate wall-clock, propagates the weight forward over callee
+/// edges (a function reachable from several stages accumulates all of
+/// them), and normalizes by the maximum so every function gets a score in
+/// [0, 1]. The perf.* rules gate on the score; --perf-report ranks by it.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "callgraph.hpp"
+
+namespace vpga::fabriclint {
+
+/// Aggregated per-stage wall-clock from one or more BENCH_flow.json runs.
+struct StageProfile {
+  std::map<std::string, double> stage_us;  ///< "stage.map" -> summed micros
+  double total_us = 0.0;
+  bool loaded = false;
+};
+
+/// Parses a BENCH_flow.json document (schema vpga.flow_bench.v1) and sums
+/// `runs[].stages` into `out`. Returns false with a message in `*error`
+/// (when supplied) on malformed input or an unexpected schema.
+bool load_flow_profile(std::string_view json_text, StageProfile& out,
+                       std::string* error = nullptr);
+
+/// The stage-span -> flow-entry-function mapping (mirrors
+/// src/flow/flow.cpp's stage structure). Exposed for the docs and tests.
+const std::map<std::string, std::string>& stage_entry_functions();
+
+/// Per-function hotness in [0, 1], indexed like `graph.fn()`. All zeros when
+/// the profile is empty or no stage entry resolves into the graph.
+std::vector<double> hotness_scores(const CallGraph& graph, const StageProfile& profile);
+
+}  // namespace vpga::fabriclint

@@ -48,6 +48,14 @@ bool mutex_type_name(std::string_view t) {
          t == "timed_mutex" || t == "recursive_timed_mutex";
 }
 
+/// Container head-type idents the perf rules track for data members.
+bool container_type_name(std::string_view t) {
+  return t == "map" || t == "unordered_map" || t == "multimap" ||
+         t == "unordered_multimap" || t == "set" || t == "unordered_set" ||
+         t == "multiset" || t == "unordered_multiset" || t == "vector" ||
+         t == "deque" || t == "list" || t == "string";
+}
+
 /// Index one past the `>` matching the `<` at `open` (`>>` counts twice), or
 /// npos when it never closes before `;`/`{`.
 std::size_t match_angle(const std::vector<Token>& toks, std::size_t open) {
@@ -235,6 +243,23 @@ class TuAnalyzer {
           (i + 2 >= end || is_punct(t[i + 2], ";") || is_punct(t[i + 2], "=") ||
            is_ident(t[i + 2], "FABRIC_GUARDED_BY")))
         cls.mutexes.insert(t[i + 1].text);
+      // Container members: `map<...> name` / `vector<...> name` / `string
+      // name` — the head type ident, an optional template argument list, then
+      // the member name (perf rules resolve member receivers through these).
+      if (t[i].kind == TokKind::kIdent && container_type_name(t[i].text) && i + 1 < end) {
+        std::size_t j = i + 1;
+        if (is_punct(t[j], "<")) {
+          const std::size_t a = match_angle(t, j);
+          if (a == std::string::npos || a >= end) continue;
+          j = a;
+        }
+        if (j < end && t[j].kind == TokKind::kIdent &&
+            (j + 1 >= end || is_punct(t[j + 1], ";") || is_punct(t[j + 1], "=") ||
+             is_punct(t[j + 1], "{") || is_ident(t[j + 1], "FABRIC_GUARDED_BY"))) {
+          cls.container_fields.emplace(t[j].text, t[i].text);
+          i = j;
+        }
+      }
     }
   }
 
@@ -285,8 +310,12 @@ class TuAnalyzer {
 
     // Return type: statement tokens before the (qualified) name.
     if (!fn.is_ctor_or_dtor)
-      for (std::size_t k = stmt_start; k < name_start; ++k)
+      for (std::size_t k = stmt_start; k < name_start; ++k) {
         if (t[k].kind == TokKind::kIdent) fn.return_type.push_back(t[k].text);
+        if (is_punct(t[k], "&") || is_punct(t[k], "&&")) fn.returns_reference = true;
+      }
+    fn.params_open = open;
+    fn.params_close = params_close;
 
     // Past the parameter list: specifiers, ctor init list, then `{` or `;`.
     std::size_t j = params_close + 1;

@@ -39,6 +39,9 @@ struct ClassInfo {
   std::string name;
   std::vector<FieldInfo> fields;
   std::set<std::string> mutexes;  ///< members of a *mutex type
+  /// Data members of container type the perf rules care about:
+  /// member name -> head type ident (map, unordered_map, vector, ...).
+  std::map<std::string, std::string> container_fields;
 };
 
 /// A mutex acquisition inside a function body. `tok` is the index of the
@@ -95,6 +98,11 @@ struct FunctionInfo {
   /// Raw return-type token texts (empty for ctors/dtors and declarations the
   /// subset could not attribute a type to).
   std::vector<std::string> return_type;
+  /// The return type carries `&`/`&&` (return_type keeps only idents, so the
+  /// reference qualifier would otherwise be lost; lifetime.dangling-local).
+  bool returns_reference = false;
+  std::size_t params_open = 0;   ///< token index of the parameter-list '('
+  std::size_t params_close = 0;  ///< token index of the matching ')'
   std::size_t body_begin = 0;  ///< token index of '{' (definitions only)
   std::size_t body_end = 0;    ///< one past the matching '}'
   std::vector<LockEvent> locks;
