@@ -1,13 +1,20 @@
 // Machine-readable flow bench: runs the paper suite (Tables 1/2 structure —
-// four designs x {granular, LUT} x {flow a, flow b}) with tracing and metrics
-// enabled and emits BENCH_flow.json with per-stage wall-clock plus every flow
-// counter, so CI can chart stage cost over time.
+// four designs x {granular, LUT} x {flow a, flow b}) with tracing, metrics
+// and memory tracking enabled and emits BENCH_flow.json (schema
+// vpga.flow_bench.v2) with per-stage wall-clock, every flow counter, and
+// per-stage memory columns (alloc_bytes / alloc_count / peak_live_bytes),
+// so tools/flowscope can chart stage cost and allocation behavior over time.
 //
 //   flow_bench_json [--out BENCH_flow.json]
 //
 // Doubles as the observability guard: exits nonzero if any expected stage
 // span is missing from any run, or if the emitted JSON does not parse back
 // (obs/json.hpp). VPGA_BENCH_SCALE shrinks the designs as usual.
+//
+// v2 vs v1: adds the per-run "memory" object and moves the dynamic
+// "<span>.alloc_*" counter family there (counters stay exact-comparable
+// across machines; allocation sizes are libc-dependent and get their own
+// tolerance in flowscope). Consumers accept both versions.
 
 #include "flow_bench.hpp"
 
@@ -15,6 +22,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -40,9 +48,19 @@ void append_escaped(std::string& out, std::string_view s) {
 }
 
 void append_num(std::string& out, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out += buf;
+  out += vpga::obs::json::format_double(v);
+}
+
+/// The dynamic memtrack counter family ("<span>.alloc_bytes" etc.) is
+/// reported under "memory", not "counters".
+bool is_memory_counter(std::string_view name) {
+  for (std::string_view suffix :
+       {".alloc_bytes", ".alloc_count", ".peak_live_bytes"}) {
+    if (name.size() > suffix.size() &&
+        name.substr(name.size() - suffix.size()) == suffix)
+      return true;
+  }
+  return false;
 }
 
 // Stage spans every flow must record exactly once (stage.pack repeats per
@@ -104,12 +122,41 @@ void append_run(std::string& out, const FlowReport& r, const std::string& design
   out += "},\"counters\":{";
   first = true;
   for (const auto& [name, value] : r.obs.counters) {
+    if (is_memory_counter(name)) continue;
     if (!first) out += ',';
     first = false;
     out += '"';
     append_escaped(out, name);
     out += "\":";
     append_num(out, static_cast<double>(value));
+  }
+  // Memory columns (schema v2): one object per span family that recorded
+  // allocations, e.g. "memory":{"stage.map":{"alloc_bytes":...}}. The
+  // "flow" entry carries the run-wide totals.
+  out += "},\"memory\":{";
+  std::map<std::string, std::map<std::string, long long>> memory;
+  for (const auto& [name, value] : r.obs.counters) {
+    if (!is_memory_counter(name)) continue;
+    const std::size_t dot = name.rfind('.');
+    memory[name.substr(0, dot)][name.substr(dot + 1)] = value;
+  }
+  first = true;
+  for (const auto& [span, fields] : memory) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, span);
+    out += "\":{";
+    bool ffirst = true;
+    for (const auto& [field, value] : fields) {
+      if (!ffirst) out += ',';
+      ffirst = false;
+      out += '"';
+      append_escaped(out, field);
+      out += "\":";
+      append_num(out, static_cast<double>(value));
+    }
+    out += '}';
   }
   out += "},\"report\":{";
   out += "\"gate_count_nand2\":";
@@ -143,10 +190,11 @@ int main(int argc, char** argv) {
   flow::FlowOptions opts;
   opts.trace = true;
   opts.metrics = true;
+  opts.memtrack = true;
   const auto suite = benchharness::run_suite(opts);
 
   int missing = 0;
-  std::string json = "{\"schema\":\"vpga.flow_bench.v1\",\"scale\":";
+  std::string json = "{\"schema\":\"vpga.flow_bench.v2\",\"scale\":";
   append_num(json, benchharness::bench_scale());
   json += ",\"runs\":[\n";
   bool first = true;

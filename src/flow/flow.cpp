@@ -167,10 +167,23 @@ RunTally& run_tally_storage() {
 FlowReport run_flow(const designs::BenchmarkDesign& design, const core::PlbArchitecture& arch,
                     char which, const FlowOptions& opts) {
   VPGA_ASSERT(which == 'a' || which == 'b');
-  obs::ObsContext ctx(opts.trace, opts.metrics);
+  // Forensics: dump the flight-recorder ring on terminate / fatal signal,
+  // so any crash below ships its last-N-events context (events.hpp).
+  obs::flight::install_crash_handlers();
+  obs::ObsContext ctx(opts.trace, opts.metrics, opts.memtrack);
   const obs::ScopedObs bind(&ctx);
+  obs::flight_event("flow.begin");
+  obs::flight_event("flow.seed", static_cast<long long>(opts.seed));
   FlowReport rep = run_flow_impl(design, arch, which, opts);
+  if (opts.memtrack) {
+    // Run-wide totals alongside the per-span family published at span close.
+    const obs::memtrack::Totals& t = ctx.memtracker().totals();
+    ctx.metrics().add("flow.alloc_bytes", t.alloc_bytes);
+    ctx.metrics().add("flow.alloc_count", t.alloc_count);
+    ctx.metrics().add("flow.peak_live_bytes", t.peak_live_bytes);
+  }
   rep.obs = ctx.report();
+  obs::flight_event("flow.end");
   {
     RunTally& tally = run_tally_storage();
     const std::lock_guard<std::mutex> lock(tally.mu);

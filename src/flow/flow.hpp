@@ -43,6 +43,12 @@ struct FlowOptions {
   bool trace = false;
   /// Record named work counters/gauges/histograms from every stage.
   bool metrics = false;
+  /// Attribute heap allocations (bytes, count, peak live) to the innermost
+  /// active span via the global operator new/delete hooks; surfaces as the
+  /// "<span>.alloc_bytes" counter family and per-span trace args. Off =
+  /// zero overhead beyond one thread-local load per allocation, and the
+  /// flow result is byte-identical either way (tests/test_determinism.cpp).
+  bool memtrack = false;
   /// Run compare_architectures' four flows on four threads. Each run binds
   /// its own ObsContext, so traces/metrics stay per-run; results are
   /// deterministic and identical to the serial path.

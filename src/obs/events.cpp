@@ -1,0 +1,360 @@
+#include "obs/events.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include "obs/json.hpp"
+
+namespace vpga::obs::flight {
+namespace {
+
+/// Recorder epoch, taken during static initialization (single-threaded) so
+/// the record path and the signal handler never race a lazy init.
+const std::chrono::steady_clock::time_point g_epoch = std::chrono::steady_clock::now();
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - g_epoch)
+      .count();
+}
+
+bool env_enabled() {
+  const char* v = std::getenv("VPGA_FLIGHT");
+  return v == nullptr || std::string_view(v) != "0";
+}
+
+struct Ring {
+  std::atomic<std::uint64_t> count{0};  // events ever written; release-published
+  FlightEvent slots[kRingCapacity];
+};
+
+// Static storage: no allocation on the record path, reachable from a signal
+// handler, and still mapped when the terminate handler runs during unwind.
+Ring g_rings[kMaxRings];
+std::atomic<int> g_ring_claims{0};
+std::atomic<std::uint64_t> g_seq{0};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<bool> g_enabled{env_enabled()};
+std::atomic<bool> g_dumped{false};
+std::atomic<bool> g_handlers_installed{false};
+
+struct PinnedSeed {
+  std::atomic<bool> set{false};
+  FlightEvent event;
+};
+PinnedSeed g_pinned[kMaxPinnedSeeds];
+std::atomic<int> g_pinned_claims{0};
+
+// -1 = this thread has not claimed a ring yet; kMaxRings = table was full.
+thread_local int tl_ring_index = -1;
+
+Ring* ring_for_thread() {
+  int idx = tl_ring_index;
+  if (idx < 0) {
+    idx = g_ring_claims.fetch_add(1, std::memory_order_relaxed);
+    if (idx > kMaxRings) idx = kMaxRings;  // keep the claim counter bounded-ish
+    tl_ring_index = idx;
+  }
+  return idx < kMaxRings ? &g_rings[idx] : nullptr;
+}
+
+void fill_event(FlightEvent& e, std::uint64_t seq, int ring, EventKind kind,
+                std::string_view name, std::int64_t a, std::int64_t b) {
+  e.seq = seq;
+  e.us = now_us();
+  e.ring = ring;
+  e.kind = kind;
+  const std::size_t len =
+      name.size() < static_cast<std::size_t>(kNameCapacity) - 1
+          ? name.size()
+          : static_cast<std::size_t>(kNameCapacity) - 1;
+  std::memcpy(e.name, name.data(), len);
+  e.name[len] = '\0';
+  e.a = a;
+  e.b = b;
+}
+
+void pin_seed(EventKind kind, std::string_view name, std::int64_t a, std::int64_t b) {
+  const int idx = g_pinned_claims.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= kMaxPinnedSeeds) return;
+  PinnedSeed& p = g_pinned[idx];
+  fill_event(p.event, g_seq.fetch_add(1, std::memory_order_relaxed), -1, kind,
+             name, a, b);
+  p.set.store(true, std::memory_order_release);
+}
+
+/// Events currently retained by `r`, oldest first. Tolerates a concurrent
+/// writer (the freshly overwritten slot may tear; postmortem readers accept
+/// that for the oldest entry rather than taking a lock on the hot path).
+void collect_ring(const Ring& r, std::vector<FlightEvent>& out) {
+  const std::uint64_t n = r.count.load(std::memory_order_acquire);
+  const std::uint64_t kept =
+      n < static_cast<std::uint64_t>(kRingCapacity) ? n : kRingCapacity;
+  for (std::uint64_t i = n - kept; i < n; ++i)
+    out.push_back(r.slots[i % kRingCapacity]);
+}
+
+// ---------------------------------------------------------------------------
+// Signal-safe dump path
+// ---------------------------------------------------------------------------
+
+/// Destination path, captured eagerly (getenv is not reliably callable from
+/// a signal handler once the heap may be corrupt).
+char g_path[512] = "vpga_forensics.json";
+std::atomic<bool> g_path_cached{false};
+
+void cache_path() {
+  if (g_path_cached.exchange(true, std::memory_order_acq_rel)) return;
+  const char* env = std::getenv("VPGA_FORENSICS_PATH");
+  if (env != nullptr && env[0] != '\0' && std::strlen(env) < sizeof g_path)
+    std::strcpy(g_path, env);
+}
+
+/// Fixed-size formatter: enough for pinned seeds + 64 rings * 256 events at
+/// ~160 bytes/event would exceed any sane static buffer, so the dump keeps
+/// the newest kDumpBudget events across all rings (they are the forensics
+/// payload; older context is gone by construction anyway).
+constexpr int kDumpBudget = 2048;
+char g_dump_buf[512 * 1024];
+
+std::size_t append_raw(std::size_t at, const char* s) {
+  while (*s != '\0' && at < sizeof g_dump_buf - 1) g_dump_buf[at++] = *s++;
+  return at;
+}
+
+std::size_t append_escaped(std::size_t at, const char* s) {
+  for (; *s != '\0' && at < sizeof g_dump_buf - 8; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      g_dump_buf[at++] = '\\';
+      g_dump_buf[at++] = static_cast<char>(c);
+    } else if (c >= 0x20) {
+      g_dump_buf[at++] = static_cast<char>(c);
+    }  // control characters are dropped: forensics names never contain them
+  }
+  return at;
+}
+
+std::size_t append_int(std::size_t at, std::int64_t v) {
+  char tmp[32];
+  std::snprintf(tmp, sizeof tmp, "%lld", static_cast<long long>(v));
+  return append_raw(at, tmp);
+}
+
+std::size_t append_event(std::size_t at, const FlightEvent& e, bool first) {
+  if (!first) at = append_raw(at, ",");
+  at = append_raw(at, "{\"seq\":");
+  at = append_int(at, static_cast<std::int64_t>(e.seq));
+  at = append_raw(at, ",\"us\":");
+  at = append_int(at, e.us);
+  at = append_raw(at, ",\"thread\":");
+  at = append_int(at, e.ring);
+  at = append_raw(at, ",\"kind\":\"");
+  at = append_raw(at, to_string(e.kind));
+  at = append_raw(at, "\",\"name\":\"");
+  at = append_escaped(at, e.name);
+  at = append_raw(at, "\",\"a\":");
+  at = append_int(at, e.a);
+  at = append_raw(at, ",\"b\":");
+  at = append_int(at, e.b);
+  return append_raw(at, "}");
+}
+
+void sort_by_seq(std::vector<FlightEvent>& events) {
+  // Insertion sort: events are nearly sorted per ring already and the dump
+  // path avoids <algorithm> introspective depths on purpose (simple code
+  // that cannot allocate).
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    FlightEvent key = events[i];
+    std::size_t j = i;
+    for (; j > 0 && events[j - 1].seq > key.seq; --j) events[j] = events[j - 1];
+    events[j] = key;
+  }
+}
+
+/// Serializes reason + pinned seeds + the newest events into g_dump_buf.
+/// Walks the static rings directly (no vector) so it stays signal-safe.
+std::size_t format_dump(const char* reason) {
+  std::size_t at = 0;
+  at = append_raw(at, "{\"schema\":\"vpga.forensics.v1\",\"reason\":\"");
+  at = append_escaped(at, reason);
+  at = append_raw(at, "\",\"dropped\":");
+  at = append_int(at, static_cast<std::int64_t>(g_dropped.load(std::memory_order_relaxed)));
+  at = append_raw(at, ",\"pinned_seeds\":[");
+  bool first = true;
+  for (const PinnedSeed& p : g_pinned) {
+    if (!p.set.load(std::memory_order_acquire)) continue;
+    at = append_event(at, p.event, first);
+    first = false;
+  }
+  at = append_raw(at, "],\"events\":[");
+
+  // Gather slot references newest-last without allocating: index pairs into
+  // a static scratch table, then emit in seq order via repeated min-scan.
+  static FlightEvent scratch[kDumpBudget];
+  int n = 0;
+  const int rings = g_ring_claims.load(std::memory_order_relaxed) < kMaxRings
+                        ? g_ring_claims.load(std::memory_order_relaxed)
+                        : kMaxRings;
+  for (int r = 0; r < rings && r < kMaxRings; ++r) {
+    const Ring& ring = g_rings[r];
+    const std::uint64_t cnt = ring.count.load(std::memory_order_acquire);
+    const std::uint64_t kept =
+        cnt < static_cast<std::uint64_t>(kRingCapacity) ? cnt : kRingCapacity;
+    for (std::uint64_t i = cnt - kept; i < cnt && n < kDumpBudget; ++i)
+      scratch[n++] = ring.slots[i % kRingCapacity];
+  }
+  // seq-order the merged tail (insertion sort over <= kDumpBudget PODs).
+  for (int i = 1; i < n; ++i) {
+    const FlightEvent key = scratch[i];
+    int j = i;
+    for (; j > 0 && scratch[j - 1].seq > key.seq; --j) scratch[j] = scratch[j - 1];
+    scratch[j] = key;
+  }
+  for (int i = 0; i < n; ++i) at = append_event(at, scratch[i], i == 0);
+  at = append_raw(at, "]}\n");
+  return at;
+}
+
+void write_dump(const char* reason) {
+  cache_path();
+  const std::size_t len = format_dump(reason);
+  const int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t w = ::write(fd, g_dump_buf + off, len - off);
+    if (w <= 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Crash triggers
+// ---------------------------------------------------------------------------
+
+std::terminate_handler g_prev_terminate = nullptr;
+
+[[noreturn]] void terminate_with_dump() {
+  if (!g_dumped.exchange(true, std::memory_order_acq_rel)) write_dump("terminate");
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+void fatal_signal_handler(int sig) {
+  if (!g_dumped.exchange(true, std::memory_order_acq_rel)) {
+    char reason[32];
+    std::snprintf(reason, sizeof reason, "signal:%d", sig);
+    write_dump(reason);
+  }
+  // SA_RESETHAND restored the default action; re-raise to die with the
+  // original signal (and the expected exit status for wait()ing parents).
+  ::raise(sig);
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kMetric: return "metric";
+    case EventKind::kVerify: return "verify";
+    case EventKind::kSeed: return "seed";
+    case EventKind::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void record(EventKind kind, std::string_view name, std::int64_t a, std::int64_t b) {
+  if (!enabled()) return;
+  if (kind == EventKind::kSeed) pin_seed(kind, name, a, b);
+  Ring* r = ring_for_thread();
+  if (r == nullptr) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t n = r->count.load(std::memory_order_relaxed);
+  fill_event(r->slots[n % kRingCapacity], g_seq.fetch_add(1, std::memory_order_relaxed),
+             tl_ring_index, kind, name, a, b);
+  r->count.store(n + 1, std::memory_order_release);
+}
+
+std::uint64_t dropped() { return g_dropped.load(std::memory_order_relaxed); }
+
+std::vector<FlightEvent> snapshot() {
+  std::vector<FlightEvent> out;
+  for (const PinnedSeed& p : g_pinned)
+    if (p.set.load(std::memory_order_acquire)) out.push_back(p.event);
+  for (const Ring& r : g_rings) collect_ring(r, out);
+  sort_by_seq(out);
+  return out;
+}
+
+std::string forensics_json(std::string_view reason) {
+  // Reuse the signal-safe formatter so the programmatic document and the
+  // crash dump are byte-compatible (one schema, one serializer).
+  std::string r(reason);
+  return std::string(g_dump_buf, format_dump(r.c_str()));
+}
+
+std::string forensics_path() {
+  cache_path();
+  return g_path;
+}
+
+bool dump_forensics(std::string_view reason) {
+  if (g_dumped.exchange(true, std::memory_order_acq_rel)) return false;
+  std::string r(reason);
+  write_dump(r.c_str());
+  return true;
+}
+
+void install_crash_handlers() {
+  if (g_handlers_installed.exchange(true, std::memory_order_acq_rel)) return;
+  cache_path();
+  g_prev_terminate = std::set_terminate(terminate_with_dump);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = fatal_signal_handler;
+  sa.sa_flags = SA_RESETHAND | SA_NODEFER;
+  sigemptyset(&sa.sa_mask);
+  for (const int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT})
+    ::sigaction(sig, &sa, nullptr);
+}
+
+void reset_for_testing() {
+  for (Ring& r : g_rings) {
+    r.count.store(0, std::memory_order_relaxed);
+    for (FlightEvent& e : r.slots) e = FlightEvent{};
+  }
+  for (PinnedSeed& p : g_pinned) {
+    p.set.store(false, std::memory_order_relaxed);
+    p.event = FlightEvent{};
+  }
+  g_pinned_claims.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_dumped.store(false, std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+  g_path_cached.store(false, std::memory_order_relaxed);
+  // Ring claims are NOT reset: threads cache their index in a thread_local,
+  // so reclaiming slot 0 for a new thread would alias a live writer.
+}
+
+}  // namespace vpga::obs::flight

@@ -1,0 +1,118 @@
+#pragma once
+/// \file events.hpp
+/// Flight recorder: a fixed-capacity, lock-free ring of structured events
+/// that is always on at bounded cost and survives to a crash dump.
+///
+/// The span tree and metrics registry answer "where did the time go" after a
+/// *successful* run; they are lost the moment the process aborts. The flight
+/// recorder answers the postmortem question instead: every span boundary,
+/// metric delta, verify finding and RNG seed is appended to a small
+/// per-thread ring, and three triggers — std::terminate, a fatal signal, and
+/// a verify-failure abort — dump the merged last-N events as forensics JSON
+/// (`vpga.forensics.v1`), so a crash mid-pack ships the active span and the
+/// seed that reproduces it.
+///
+/// Concurrency model: one ring per thread, single writer, plain stores to
+/// the slot followed by a release store of the ring's event count; readers
+/// (snapshot / the dump path) acquire the count and walk backwards. Rings
+/// live in static storage — no allocation on the record path, and the signal
+/// handler can walk them without touching the heap.
+///
+/// Cost when "disabled" (VPGA_FLIGHT=0): one relaxed atomic load per
+/// instrumentation point. Cost when on: one clock read plus ~64 bytes of
+/// plain stores per event. docs/OBSERVABILITY.md documents the event schema.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vpga::obs::flight {
+
+/// Max bytes of an event name kept in the ring (including the NUL). Longer
+/// names truncate; every registered span/metric/event name fits.
+inline constexpr int kNameCapacity = 40;
+/// Events retained per writer thread before the ring wraps.
+inline constexpr int kRingCapacity = 256;
+/// Max writer threads tracked; later threads drop events (counted).
+inline constexpr int kMaxRings = 64;
+/// Seed events are additionally pinned outside the rings so a long run
+/// cannot evict the one event that makes the dump reproducible.
+inline constexpr int kMaxPinnedSeeds = 16;
+
+enum class EventKind : std::uint8_t {
+  kSpanBegin = 0,  ///< a = depth at open
+  kSpanEnd = 1,    ///< a = 0
+  kMetric = 2,     ///< a = delta / rounded value
+  kVerify = 3,     ///< per check: a = findings, b = errors; per error: a = severity
+  kSeed = 4,       ///< a = RNG seed (also pinned)
+  kMark = 5,       ///< free-form point event (obs::flight_event)
+};
+const char* to_string(EventKind kind);
+
+/// One recorded event. `seq` is a global order (allocation order of a shared
+/// atomic counter); `us` is microseconds since the recorder epoch (process
+/// start); `ring` identifies the writer thread's slot.
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  std::int64_t us = 0;
+  std::int32_t ring = 0;
+  EventKind kind = EventKind::kMark;
+  char name[kNameCapacity] = {};
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+/// Recorder on/off. Defaults to on; the VPGA_FLIGHT=0 environment variable
+/// turns it off for overhead experiments.
+bool enabled();
+void set_enabled(bool on);
+
+/// Appends one event to the calling thread's ring (no-op when disabled or
+/// when more than kMaxRings threads have recorded).
+void record(EventKind kind, std::string_view name, std::int64_t a = 0,
+            std::int64_t b = 0);
+
+/// Events dropped because the writer-thread table was full.
+std::uint64_t dropped();
+
+/// Merged view of every ring (pinned seeds first, then ring events in seq
+/// order). Safe to call while writers are quiescent; concurrent writers may
+/// tear the oldest slots, which the dump path tolerates by design.
+std::vector<FlightEvent> snapshot();
+
+/// The merged snapshot as `vpga.forensics.v1` JSON.
+std::string forensics_json(std::string_view reason);
+
+/// Where dumps land: $VPGA_FORENSICS_PATH, else "vpga_forensics.json" in the
+/// working directory.
+std::string forensics_path();
+
+/// Writes the forensics document to forensics_path() using only
+/// async-signal-safe calls (static buffer + open/write). The first dump
+/// wins: later triggers (e.g. the SIGABRT raised right after a verify
+/// failure already dumped) are no-ops. Returns true if this call wrote.
+bool dump_forensics(std::string_view reason);
+
+/// Installs the std::terminate handler and fatal-signal handlers (SEGV, BUS,
+/// ILL, FPE, ABRT) that call dump_forensics before re-raising. Idempotent.
+void install_crash_handlers();
+
+/// Drops all recorded events, pinned seeds, the dropped counter and the
+/// first-dump latch. Test-only; never call with concurrent writers.
+void reset_for_testing();
+
+}  // namespace vpga::obs::flight
+
+namespace vpga::obs {
+
+/// Records a named point event (EventKind::kMark, or kSeed for "flow.seed")
+/// in the flight recorder. The literal names used here are registered in
+/// names.hpp::kEventNames and checked by fabriclint's `obs.event-name` rule.
+inline void flight_event(std::string_view name, long long a = 0, long long b = 0) {
+  flight::record(name == "flow.seed" ? flight::EventKind::kSeed
+                                     : flight::EventKind::kMark,
+                 name, a, b);
+}
+
+}  // namespace vpga::obs

@@ -1,6 +1,7 @@
 #include "obs/json.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace vpga::obs::json {
@@ -252,6 +253,16 @@ class Parser {
 bool parse(std::string_view text, Value& out, std::string* error) {
   out = Value{};
   return Parser(text).run(out, error);
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;  // faithful; keep the shortest
+  }
+  return buf;
 }
 
 }  // namespace vpga::obs::json

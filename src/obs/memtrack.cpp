@@ -1,0 +1,132 @@
+#include "obs/memtrack.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#if defined(__GLIBC__) || defined(__linux__)
+#include <malloc.h>
+#define VPGA_HAVE_MALLOC_USABLE_SIZE 1
+#endif
+
+namespace vpga::obs::memtrack {
+namespace {
+
+// Plain pointer with static (zero) initialization: safe to read from
+// operator new at any point in the process lifetime, including during
+// static init and thread teardown.
+thread_local MemTracker* tl_tracker = nullptr;
+
+}  // namespace
+
+MemTracker* current() { return tl_tracker; }
+
+long long block_size(void* p, std::size_t requested) {
+#ifdef VPGA_HAVE_MALLOC_USABLE_SIZE
+  if (p != nullptr) return static_cast<long long>(::malloc_usable_size(p));
+#endif
+  (void)p;
+  return static_cast<long long>(requested);
+}
+
+ScopedMemTrack::ScopedMemTrack(MemTracker* t) : prev_(tl_tracker) {
+  tl_tracker = t;
+}
+ScopedMemTrack::~ScopedMemTrack() { tl_tracker = prev_; }
+
+namespace {
+
+void* tracked_alloc(std::size_t size, bool nothrow) {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  while (p == nullptr) {
+    std::new_handler h = std::get_new_handler();
+    if (h == nullptr) {
+      if (nothrow) return nullptr;
+      throw std::bad_alloc();
+    }
+    h();
+    p = std::malloc(size);
+  }
+  if (MemTracker* t = tl_tracker) t->on_alloc(block_size(p, size));
+  return p;
+}
+
+void* tracked_alloc_aligned(std::size_t size, std::size_t align, bool nothrow) {
+  if (size == 0) size = 1;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded);
+  while (p == nullptr) {
+    std::new_handler h = std::get_new_handler();
+    if (h == nullptr) {
+      if (nothrow) return nullptr;
+      throw std::bad_alloc();
+    }
+    h();
+    p = std::aligned_alloc(align, rounded);
+  }
+  if (MemTracker* t = tl_tracker) t->on_alloc(block_size(p, rounded));
+  return p;
+}
+
+void tracked_free(void* p, std::size_t requested) {
+  if (p == nullptr) return;
+  if (MemTracker* t = tl_tracker) t->on_free(block_size(p, requested));
+  std::free(p);
+}
+
+}  // namespace
+}  // namespace vpga::obs::memtrack
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete replacement (C++17 full set). These are the
+// program-wide allocation functions: every variant funnels into the tracked
+// helpers above, whose per-thread cost when no tracker is bound is one
+// thread-local load and a branch.
+// ---------------------------------------------------------------------------
+
+namespace mt = vpga::obs::memtrack;
+
+void* operator new(std::size_t size) { return mt::tracked_alloc(size, false); }
+void* operator new[](std::size_t size) { return mt::tracked_alloc(size, false); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return mt::tracked_alloc(size, true);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return mt::tracked_alloc(size, true);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return mt::tracked_alloc_aligned(size, static_cast<std::size_t>(align), false);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return mt::tracked_alloc_aligned(size, static_cast<std::size_t>(align), false);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return mt::tracked_alloc_aligned(size, static_cast<std::size_t>(align), true);
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return mt::tracked_alloc_aligned(size, static_cast<std::size_t>(align), true);
+}
+
+void operator delete(void* p) noexcept { mt::tracked_free(p, 0); }
+void operator delete[](void* p) noexcept { mt::tracked_free(p, 0); }
+void operator delete(void* p, std::size_t size) noexcept { mt::tracked_free(p, size); }
+void operator delete[](void* p, std::size_t size) noexcept { mt::tracked_free(p, size); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { mt::tracked_free(p, 0); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { mt::tracked_free(p, 0); }
+void operator delete(void* p, std::align_val_t) noexcept { mt::tracked_free(p, 0); }
+void operator delete[](void* p, std::align_val_t) noexcept { mt::tracked_free(p, 0); }
+void operator delete(void* p, std::size_t size, std::align_val_t) noexcept {
+  mt::tracked_free(p, size);
+}
+void operator delete[](void* p, std::size_t size, std::align_val_t) noexcept {
+  mt::tracked_free(p, size);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  mt::tracked_free(p, 0);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  mt::tracked_free(p, 0);
+}

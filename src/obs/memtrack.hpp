@@ -1,0 +1,129 @@
+#pragma once
+/// \file memtrack.hpp
+/// Per-stage memory profiling: thread-local allocation tracking attributed
+/// to the innermost active obs::Span.
+///
+/// memtrack.cpp replaces the global operator new/delete with thin wrappers
+/// that, when (and only when) a tracker is bound to the calling thread,
+/// account every allocation to the tracker's innermost open frame. Spans
+/// push/pop frames, so each stage span ends up with three numbers —
+/// bytes allocated, allocation count, peak live bytes — published as the
+/// dynamic "<span>.alloc_bytes" / ".alloc_count" / ".peak_live_bytes"
+/// counter family and as Chrome-trace args.
+///
+/// Off by default with zero overhead: `FlowOptions::memtrack` gates binding,
+/// and an unbound thread's operator new costs one thread-local load plus a
+/// branch on top of malloc. Attribution is innermost-span-only (a child's
+/// allocations do NOT roll up into the parent's alloc_bytes), except peak
+/// live bytes, where a parent's peak covers its children's intervals —
+/// that is what "how much memory does this stage need" means.
+///
+/// Byte accounting uses malloc_usable_size where available, so frees of
+/// blocks allocated before tracking started still balance; live-byte
+/// accounting clamps at zero rather than going negative.
+
+#include <cstddef>
+
+namespace vpga::obs::memtrack {
+
+/// Run-wide totals of one tracker (== one flow run on one thread).
+struct Totals {
+  long long alloc_bytes = 0;      ///< cumulative bytes allocated
+  long long alloc_count = 0;      ///< cumulative allocations
+  long long free_count = 0;       ///< cumulative frees observed
+  long long live_bytes = 0;       ///< currently live (clamped at 0)
+  long long peak_live_bytes = 0;  ///< max of live_bytes
+};
+
+/// Per-span slice: what was allocated while this frame was innermost, plus
+/// the peak live seen during the frame's whole lifetime (children included).
+struct FrameStats {
+  long long alloc_bytes = 0;
+  long long alloc_count = 0;
+  long long peak_live_bytes = 0;
+};
+
+/// One thread's allocation ledger. Not thread-safe: bind to exactly one
+/// thread via ScopedMemTrack (ObsContext does this when memtrack is on).
+class MemTracker {
+ public:
+  /// Frames deeper than this still nest correctly but attribute to the
+  /// run totals only (span trees in this codebase are ~6 deep).
+  static constexpr int kMaxFrames = 64;
+
+  void on_alloc(long long bytes) {
+    totals_.alloc_bytes += bytes;
+    totals_.alloc_count += 1;
+    totals_.live_bytes += bytes;
+    if (totals_.live_bytes > totals_.peak_live_bytes)
+      totals_.peak_live_bytes = totals_.live_bytes;
+    if (depth_ > 0 && depth_ <= kMaxFrames) {
+      FrameStats& f = frames_[depth_ - 1];
+      f.alloc_bytes += bytes;
+      f.alloc_count += 1;
+      if (totals_.live_bytes > f.peak_live_bytes)
+        f.peak_live_bytes = totals_.live_bytes;
+    }
+  }
+
+  void on_free(long long bytes) {
+    totals_.free_count += 1;
+    totals_.live_bytes -= bytes;
+    if (totals_.live_bytes < 0) totals_.live_bytes = 0;  // pre-tracking block
+  }
+
+  /// Opens a frame; returns the new depth.
+  int push_frame() {
+    ++depth_;
+    if (depth_ <= kMaxFrames)
+      frames_[depth_ - 1] = FrameStats{.peak_live_bytes = totals_.live_bytes};
+    return depth_;
+  }
+
+  /// Closes the innermost frame and returns its stats. The child's peak
+  /// (not its alloc bytes/count) folds into the parent, so a parent span's
+  /// peak_live_bytes covers its whole subtree.
+  FrameStats pop_frame() {
+    if (depth_ <= 0) return {};
+    FrameStats out;
+    if (depth_ <= kMaxFrames) {
+      out = frames_[depth_ - 1];
+      if (depth_ >= 2 && out.peak_live_bytes > frames_[depth_ - 2].peak_live_bytes)
+        frames_[depth_ - 2].peak_live_bytes = out.peak_live_bytes;
+    }
+    --depth_;
+    return out;
+  }
+
+  [[nodiscard]] const Totals& totals() const { return totals_; }
+  [[nodiscard]] int depth() const { return depth_; }
+
+ private:
+  Totals totals_;
+  FrameStats frames_[kMaxFrames];
+  int depth_ = 0;
+};
+
+/// Tracker bound to the calling thread (nullptr = accounting off).
+MemTracker* current();
+
+/// Best-effort usable size of an allocated block: malloc_usable_size on
+/// glibc, the requested size otherwise. Keeps alloc/free byte accounting
+/// consistent on both sides.
+long long block_size(void* p, std::size_t requested);
+
+/// RAII thread binding, mirroring ScopedObs. Pass nullptr to suspend
+/// accounting in a region (used nowhere in the library today, but the
+/// tests use it to exclude their own bookkeeping).
+class ScopedMemTrack {
+ public:
+  explicit ScopedMemTrack(MemTracker* t);
+  ~ScopedMemTrack();
+  ScopedMemTrack(const ScopedMemTrack&) = delete;
+  ScopedMemTrack& operator=(const ScopedMemTrack&) = delete;
+
+ private:
+  MemTracker* prev_;
+};
+
+}  // namespace vpga::obs::memtrack

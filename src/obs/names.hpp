@@ -30,17 +30,32 @@ inline constexpr std::array<std::string_view, 20> kSpanNames = {
 };
 
 /// Counter / gauge / histogram names (obs::count, obs::gauge, obs::observe).
-inline constexpr std::array<std::string_view, 26> kMetricNames = {
+/// The `serve.*` gauges are reserved for the flowd daemon (ROADMAP) and
+/// registered by obs::register_serve_gauges so the OpenMetrics export always
+/// exposes them; `flow.alloc_*` are the run-wide memtrack totals (per-span
+/// totals are the dynamic "<span>.alloc_bytes" family, exempt by
+/// construction like every concatenated name).
+inline constexpr std::array<std::string_view, 31> kMetricNames = {
     "map.cuts_enumerated", "map.match_attempts", "map.dp_rounds", "map.nodes_emitted",
     "compact.cover_rounds",
     "pack.groups", "pack.grow_attempts", "pack.spiral_relocations", "pack.displacement_um",
     "flow.pack_sta_iterations",
+    "flow.alloc_bytes", "flow.alloc_count", "flow.peak_live_bytes",
     "place.median_sweeps", "place.sa_moves", "place.sa_accepted",
     "route.nets", "route.connections", "route.ripups", "route.maze_routes",
     "route.overflow_edges", "route.peak_congestion",
+    "serve.queue_depth", "serve.cache_hit_rate",
     "sta.analyses", "sta.arrival_propagations",
     "verify.checks", "verify.findings", "verify.errors", "verify.equiv.vectors",
     "verify.via_budget.overruns",
+};
+
+/// Flight-recorder event names (obs::flight_event call sites; the structured
+/// span/metric/verify events record span and rule names, which the span /
+/// metric registries above already govern). Checked by fabriclint's
+/// `obs.event-name` rule.
+inline constexpr std::array<std::string_view, 4> kEventNames = {
+    "flow.begin", "flow.end", "flow.seed", "verify.abort",
 };
 
 /// True iff `name` is a registered span name.
@@ -53,6 +68,13 @@ constexpr bool known_span(std::string_view name) {
 /// True iff `name` is a registered metric name.
 constexpr bool known_metric(std::string_view name) {
   for (std::string_view s : kMetricNames)
+    if (s == name) return true;
+  return false;
+}
+
+/// True iff `name` is a registered flight-recorder event name.
+constexpr bool known_event(std::string_view name) {
+  for (std::string_view s : kEventNames)
     if (s == name) return true;
   return false;
 }

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "obs/json.hpp"
+
 namespace vpga::obs {
 namespace {
 
@@ -34,11 +36,7 @@ void append_json_string(std::string& out, std::string_view s) {
 }
 
 void append_double(std::string& out, double v) {
-  // JSON has no infinity/NaN literals; clamp to a sentinel string-free form.
-  if (!std::isfinite(v)) v = 0.0;
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
+  out += json::format_double(v);  // shortest faithful form; non-finite -> "0"
 }
 
 }  // namespace
@@ -150,6 +148,14 @@ std::string ObsReport::chrome_trace_json() const {
     out += std::to_string(s.dur_us);
     out += ",\"args\":{\"depth\":";
     out += std::to_string(s.depth);
+    if (memtrack_enabled) {
+      out += ",\"alloc_bytes\":";
+      out += std::to_string(s.alloc_bytes);
+      out += ",\"alloc_count\":";
+      out += std::to_string(s.alloc_count);
+      out += ",\"peak_live_bytes\":";
+      out += std::to_string(s.peak_live_bytes);
+    }
     out += "}}";
   }
   out += "]}";
@@ -204,6 +210,7 @@ ObsReport ObsContext::report() const {
   ObsReport r;
   r.trace_enabled = trace_;
   r.metrics_enabled = metrics_;
+  r.memtrack_enabled = memtrack_;
   r.spans = tracer_.spans();
   // Spans close children-first; re-sort parent-first for readable reports.
   std::stable_sort(r.spans.begin(), r.spans.end(),
@@ -219,7 +226,29 @@ ObsReport ObsContext::report() const {
 
 ObsContext* current() { return tl_context; }
 
-ScopedObs::ScopedObs(ObsContext* ctx) : prev_(tl_context) { tl_context = ctx; }
+ScopedObs::ScopedObs(ObsContext* ctx)
+    : prev_(tl_context),
+      mem_(ctx != nullptr && ctx->memtrack_on() ? &ctx->memtracker() : nullptr) {
+  tl_context = ctx;
+}
 ScopedObs::~ScopedObs() { tl_context = prev_; }
+
+void Span::publish_memory(const memtrack::FrameStats& mem) {
+  // Dynamic "<span>.alloc_*" family: concatenated names are exempt from the
+  // obs.metric-name literal check by construction (names.hpp). The string
+  // building itself allocates and is attributed to the parent frame — the
+  // bookkeeping cost of tracking, deliberately not hidden.
+  MetricsRegistry& m = ctx_->metrics();
+  m.add(name_ + ".alloc_bytes", mem.alloc_bytes);
+  m.add(name_ + ".alloc_count", mem.alloc_count);
+  const std::string peak_name = name_ + ".peak_live_bytes";
+  if (m.counter(peak_name) < mem.peak_live_bytes) {
+    // Counters are sums; peak is a max. Re-add the difference so repeated
+    // spans of one name (e.g. stage.pack iterations) keep the true maximum.
+    m.add(peak_name, mem.peak_live_bytes - m.counter(peak_name));
+  } else {
+    m.add(peak_name, 0);  // make sure the name exists even for a 0-peak span
+  }
+}
 
 }  // namespace vpga::obs

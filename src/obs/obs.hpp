@@ -24,6 +24,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <string>
@@ -31,6 +32,8 @@
 #include <vector>
 
 #include "common/concurrency.hpp"
+#include "obs/events.hpp"
+#include "obs/memtrack.hpp"
 
 namespace vpga::obs {
 
@@ -39,11 +42,18 @@ namespace vpga::obs {
 // ---------------------------------------------------------------------------
 
 /// One closed span. `depth` is the nesting level at open time (0 = root).
+/// The alloc_* fields are populated only when the run's memtrack option is
+/// on (ObsReport::memtrack_enabled); attribution is innermost-span-only
+/// except peak_live_bytes, which covers the span's whole subtree (see
+/// memtrack.hpp).
 struct SpanRecord {
   std::string name;
   std::int64_t start_us = 0;
   std::int64_t dur_us = 0;
   int depth = 0;
+  long long alloc_bytes = 0;
+  long long alloc_count = 0;
+  long long peak_live_bytes = 0;
 };
 
 /// Collects spans of ONE thread's flow run. Not thread-safe by design: a
@@ -61,9 +71,11 @@ class Tracer {
   }
 
   int open_span() { return depth_++; }
-  void close_span(std::string name, std::int64_t start_us, int depth) {
+  void close_span(std::string name, std::int64_t start_us, int depth,
+                  const memtrack::FrameStats& mem = {}) {
     --depth_;
-    spans_.push_back({std::move(name), start_us, now_us() - start_us, depth});
+    spans_.push_back({std::move(name), start_us, now_us() - start_us, depth,
+                      mem.alloc_bytes, mem.alloc_count, mem.peak_live_bytes});
   }
 
   [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
@@ -124,6 +136,7 @@ class MetricsRegistry {
 struct ObsReport {
   bool trace_enabled = false;
   bool metrics_enabled = false;
+  bool memtrack_enabled = false;
   std::vector<SpanRecord> spans;  // sorted by (start_us, depth)
   std::vector<std::pair<std::string, long long>> counters;
   std::vector<std::pair<std::string, double>> gauges;
@@ -151,27 +164,34 @@ struct ObsReport {
 /// points below reach the bound context through a thread-local pointer.
 class ObsContext {
  public:
-  ObsContext(bool trace, bool metrics) : trace_(trace), metrics_(metrics) {}
+  ObsContext(bool trace, bool metrics, bool memtrack = false)
+      : trace_(trace), metrics_(metrics), memtrack_(memtrack) {}
 
   [[nodiscard]] bool trace_on() const { return trace_; }
   [[nodiscard]] bool metrics_on() const { return metrics_; }
+  [[nodiscard]] bool memtrack_on() const { return memtrack_; }
   [[nodiscard]] Tracer& tracer() { return tracer_; }
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_registry_; }
+  [[nodiscard]] memtrack::MemTracker& memtracker() { return memtracker_; }
 
   [[nodiscard]] ObsReport report() const;
 
  private:
   bool trace_;
   bool metrics_;
+  bool memtrack_;
   Tracer tracer_;
   MetricsRegistry metrics_registry_;
+  memtrack::MemTracker memtracker_;
 };
 
 /// The context bound to the calling thread (nullptr = instrumentation off).
 ObsContext* current();
 
 /// RAII binding of a context to the current thread; restores the previous
-/// binding on destruction, so contexts nest.
+/// binding on destruction, so contexts nest. Binding a context also rebinds
+/// the thread's allocation tracker (the context's own when memtrack is on,
+/// none otherwise), so a run's accounting never leaks into an enclosing one.
 class ScopedObs {
  public:
   explicit ScopedObs(ObsContext* ctx);
@@ -181,53 +201,104 @@ class ScopedObs {
 
  private:
   ObsContext* prev_;
+  memtrack::ScopedMemTrack mem_;
 };
 
 // ---------------------------------------------------------------------------
 // Instrumentation points
 // ---------------------------------------------------------------------------
 
-/// RAII scoped timer. No-op (no clock read, no allocation) when the current
-/// thread has no trace-enabled context.
+/// RAII scoped timer + memory frame + flight-recorder boundary. With no
+/// trace/memtrack-enabled context and the flight recorder off, constructing
+/// one is a thread-local load plus branches — no clock read, no allocation.
+/// With only the (always-on by default) flight recorder active, the name is
+/// copied into a fixed on-Span buffer, still allocation-free.
 class Span {
  public:
   explicit Span(std::string_view name) {
+    const bool fly = flight::enabled();
     ObsContext* c = current();
-    if (c == nullptr || !c->trace_on()) return;
-    tracer_ = &c->tracer();
-    name_ = name;
-    depth_ = tracer_->open_span();
-    start_us_ = tracer_->now_us();
+    const bool tr = c != nullptr && c->trace_on();
+    const bool mt = c != nullptr && c->memtrack_on();
+    if (!fly && !tr && !mt) return;
+    if (fly) {
+      flight_ = true;
+      const std::size_t len =
+          name.size() < static_cast<std::size_t>(flight::kNameCapacity) - 1
+              ? name.size()
+              : static_cast<std::size_t>(flight::kNameCapacity) - 1;
+      std::memcpy(fname_, name.data(), len);
+      fname_[len] = '\0';
+      flight::record(flight::EventKind::kSpanBegin, std::string_view(fname_, len));
+    }
+    if (tr || mt) {
+      ctx_ = c;
+      name_ = name;
+    }
+    if (tr) {
+      tracer_ = &c->tracer();
+      depth_ = tracer_->open_span();
+      start_us_ = tracer_->now_us();
+    }
+    if (mt) {
+      mem_ = &c->memtracker();
+      mem_->push_frame();
+    }
   }
   ~Span() {
-    if (tracer_ != nullptr) tracer_->close_span(std::move(name_), start_us_, depth_);
+    if (flight_) flight::record(flight::EventKind::kSpanEnd, fname_);
+    memtrack::FrameStats mem;
+    if (mem_ != nullptr) {
+      mem = mem_->pop_frame();
+      publish_memory(mem);
+    }
+    if (tracer_ != nullptr)
+      tracer_->close_span(std::move(name_), start_us_, depth_, mem);
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
+  /// Out of line: builds the "<span>.alloc_*" counter names (allocates, so
+  /// only ever runs on the memtrack-enabled path).
+  void publish_memory(const memtrack::FrameStats& mem);
+
   Tracer* tracer_ = nullptr;
+  ObsContext* ctx_ = nullptr;
+  memtrack::MemTracker* mem_ = nullptr;
   std::string name_;
   std::int64_t start_us_ = 0;
   int depth_ = 0;
+  bool flight_ = false;
+  char fname_[flight::kNameCapacity];  // set iff flight_; fixed to avoid allocation
 };
 
-/// Adds to a named counter (no-op without a metrics-enabled context).
+/// Adds to a named counter (no-op without a metrics-enabled context). Metric
+/// deltas of a metrics-enabled run also land in the flight recorder.
 inline void count(std::string_view name, long long delta = 1) {
   ObsContext* c = current();
-  if (c != nullptr && c->metrics_on()) c->metrics().add(name, delta);
+  if (c != nullptr && c->metrics_on()) {
+    c->metrics().add(name, delta);
+    flight::record(flight::EventKind::kMetric, name, delta);
+  }
 }
 
 /// Sets a named gauge to its latest value.
 inline void gauge(std::string_view name, double value) {
   ObsContext* c = current();
-  if (c != nullptr && c->metrics_on()) c->metrics().set_gauge(name, value);
+  if (c != nullptr && c->metrics_on()) {
+    c->metrics().set_gauge(name, value);
+    flight::record(flight::EventKind::kMetric, name, static_cast<std::int64_t>(value));
+  }
 }
 
 /// Records one observation into a named histogram.
 inline void observe(std::string_view name, double value) {
   ObsContext* c = current();
-  if (c != nullptr && c->metrics_on()) c->metrics().observe(name, value);
+  if (c != nullptr && c->metrics_on()) {
+    c->metrics().observe(name, value);
+    flight::record(flight::EventKind::kMetric, name, static_cast<std::int64_t>(value));
+  }
 }
 
 }  // namespace vpga::obs

@@ -10,6 +10,9 @@
 
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/plb.hpp"
 #include "designs/designs.hpp"
@@ -83,6 +86,69 @@ TEST(Determinism, ParallelCompareMatchesItselfAndSerial) {
   expect_reports_identical(serial.lut_b, parallel1.lut_b);
   expect_reports_identical(parallel1.granular_b, parallel2.granular_b);
   expect_reports_identical(parallel1.lut_b, parallel2.lut_b);
+}
+
+/// Memory-profiling counter names, which legitimately differ between a
+/// memtrack-on and a memtrack-off run and are excluded from the equality.
+bool is_memtrack_counter(const std::string& name) {
+  const auto ends_with = [&name](std::string_view suffix) {
+    return name.size() >= suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  return ends_with(".alloc_bytes") || ends_with(".alloc_count") ||
+         ends_with(".peak_live_bytes");
+}
+
+TEST(Determinism, MemtrackObservesWithoutPerturbing) {
+  const auto design = small_design();
+  flow::FlowOptions off;
+  off.metrics = true;
+  off.seed = 7;
+  flow::FlowOptions on = off;
+  on.memtrack = true;
+
+  const auto arch = core::PlbArchitecture::granular();
+  const auto plain = flow::run_flow(design, arch, 'b', off);
+  const auto tracked = flow::run_flow(design, arch, 'b', on);
+
+  // Every QoR quantity is bit-identical: the profiler observes the flow, it
+  // must not steer it.
+  expect_bits_equal(plain.clock_period_ps, tracked.clock_period_ps, "clock_period_ps");
+  expect_bits_equal(plain.gate_count_nand2, tracked.gate_count_nand2, "gate_count_nand2");
+  expect_bits_equal(plain.die_area_um2, tracked.die_area_um2, "die_area_um2");
+  expect_bits_equal(plain.avg_slack_top10_ps, tracked.avg_slack_top10_ps, "avg_slack_top10_ps");
+  expect_bits_equal(plain.wns_ps, tracked.wns_ps, "wns_ps");
+  expect_bits_equal(plain.critical_delay_ps, tracked.critical_delay_ps, "critical_delay_ps");
+  expect_bits_equal(plain.wirelength_um, tracked.wirelength_um, "wirelength_um");
+  EXPECT_EQ(plain.plbs, tracked.plbs);
+  expect_bits_equal(plain.max_displacement_um, tracked.max_displacement_um, "max_displacement_um");
+
+  // The non-memory counters agree exactly; the tracked run only *adds* the
+  // alloc counter family.
+  std::vector<std::pair<std::string, long long>> plain_counters, tracked_counters;
+  for (const auto& c : plain.obs.counters)
+    if (!is_memtrack_counter(c.first)) plain_counters.push_back(c);
+  for (const auto& c : tracked.obs.counters)
+    if (!is_memtrack_counter(c.first)) tracked_counters.push_back(c);
+  EXPECT_EQ(plain_counters, tracked_counters);
+  EXPECT_GT(tracked.obs.counters.size(), plain.obs.counters.size());
+
+  // And memtrack is itself deterministic where it can be: two tracked runs
+  // agree on QoR, on every non-memory counter, and on every .alloc_count
+  // (the flow performs the same allocations). Byte totals are NOT compared:
+  // malloc_usable_size depends on heap chunk reuse, which varies in-process.
+  const auto tracked2 = flow::run_flow(design, arch, 'b', on);
+  expect_bits_equal(tracked.die_area_um2, tracked2.die_area_um2, "die_area_um2");
+  expect_bits_equal(tracked.critical_delay_ps, tracked2.critical_delay_ps,
+                    "critical_delay_ps");
+  for (const auto& [name, value] : tracked.obs.counters) {
+    const auto ends_with = [&n = name](std::string_view suffix) {
+      return n.size() >= suffix.size() &&
+             n.compare(n.size() - suffix.size(), suffix.size(), suffix) == 0;
+    };
+    if (ends_with(".alloc_bytes") || ends_with(".peak_live_bytes")) continue;
+    EXPECT_EQ(value, tracked2.obs.counter(name)) << name;
+  }
 }
 
 TEST(Determinism, SeedChangesStochasticStagesButStaysSelfConsistent) {

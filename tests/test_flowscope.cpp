@@ -1,0 +1,153 @@
+// Tests for tools/flowscope: the noise-aware perf-trajectory gate.
+//
+// Drives load_snapshot/analyze/verdict_json on the committed fixture
+// snapshots under tests/data/ — the same files the flowscope_gate_* ctest
+// entries feed the CLI — plus small handcrafted documents for the v1
+// loader and counter gating.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flowscope.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace vpga::flowscope;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string fixture_path(const std::string& name) {
+  return std::string(VPGA_REPO_ROOT) + "/tests/data/" + name;
+}
+
+Snapshot load_fixture(const std::string& name) {
+  Snapshot snap;
+  std::string error;
+  const std::string path = fixture_path(name);
+  EXPECT_TRUE(load_snapshot(read_file(path), path, snap, &error)) << error;
+  return snap;
+}
+
+Analysis analyze_fixtures(const std::string& candidate_name) {
+  const std::vector<Snapshot> baselines = {
+      load_fixture("flowscope_base_a.json"),
+      load_fixture("flowscope_base_b.json")};
+  return analyze(baselines, load_fixture(candidate_name), Options{});
+}
+
+TEST(FlowscopeLoad, ParsesV2Fixture) {
+  const Snapshot snap = load_fixture("flowscope_base_a.json");
+  EXPECT_EQ(snap.schema_version, 2);
+  EXPECT_DOUBLE_EQ(snap.scale, 0.15);
+  ASSERT_EQ(snap.runs.size(), 4u);
+  const auto it = snap.runs.find("alu8/granular_plb/b");
+  ASSERT_NE(it, snap.runs.end());
+  EXPECT_GT(it->second.stage_us.at("stage.pack"), 0.0);
+  EXPECT_GT(it->second.counters.at("pack.groups"), 0.0);
+  EXPECT_GT(it->second.memory.at("stage.pack/alloc_bytes"), 0.0);
+  EXPECT_GT(it->second.report.at("critical_delay_ps"), 0.0);
+}
+
+TEST(FlowscopeLoad, ParsesV1WithoutMemory) {
+  const std::string v1 =
+      "{\"schema\":\"vpga.flow_bench.v1\",\"scale\":0.5,\"runs\":["
+      "{\"design\":\"alu8\",\"arch\":\"lut_plb\",\"flow\":\"a\","
+      "\"total_us\":10.0,\"stages\":{\"stage.map\":10.0},"
+      "\"counters\":{\"map.dp_rounds\":6},\"report\":{\"plbs\":74}}]}";
+  Snapshot snap;
+  std::string error;
+  ASSERT_TRUE(load_snapshot(v1, "v1.json", snap, &error)) << error;
+  EXPECT_EQ(snap.schema_version, 1);
+  ASSERT_EQ(snap.runs.size(), 1u);
+  const vpga::flowscope::Run& run = snap.runs.at("alu8/lut_plb/a");
+  EXPECT_DOUBLE_EQ(run.stage_us.at("stage.map"), 10.0);
+  EXPECT_TRUE(run.memory.empty());
+}
+
+TEST(FlowscopeLoad, RejectsUnknownSchema) {
+  Snapshot snap;
+  std::string error;
+  EXPECT_FALSE(load_snapshot("{\"schema\":\"vpga.flow_bench.v9\",\"runs\":[]}",
+                             "bad.json", snap, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FlowscopeGate, SeededPackRegressionIsFlagged) {
+  const Analysis a = analyze_fixtures("flowscope_regress.json");
+  EXPECT_GE(a.regressions, 1);
+  bool pack_flagged = false;
+  for (const Delta& d : a.deltas) {
+    if (d.kind == "time" && d.id == "stage.pack") {
+      pack_flagged = d.gated && d.verdict == Verdict::kRegress;
+      EXPECT_GT(d.delta_rel, 0.15) << "seeded +20% should survive normalization";
+      EXPECT_EQ(d.repeats, 2);
+    }
+  }
+  EXPECT_TRUE(pack_flagged);
+}
+
+TEST(FlowscopeGate, WithinNoiseSnapshotIsClean) {
+  const Analysis a = analyze_fixtures("flowscope_noise.json");
+  EXPECT_EQ(a.regressions, 0);
+  EXPECT_EQ(a.improvements, 0);
+}
+
+TEST(FlowscopeGate, CounterChangeIsExactNotNoisy) {
+  Snapshot base = load_fixture("flowscope_base_a.json");
+  Snapshot cand = base;
+  cand.runs.at("alu8/granular_plb/b").counters.at("route.ripups") += 1;
+  const Analysis a = analyze({base}, cand, Options{});
+  bool seen = false;
+  for (const Delta& d : a.deltas)
+    if (d.kind == "counter" && d.id == "alu8/granular_plb/b/route.ripups") {
+      seen = true;
+      EXPECT_EQ(d.verdict, Verdict::kRegress);
+      EXPECT_TRUE(d.gated);
+    }
+  EXPECT_TRUE(seen);
+  EXPECT_GE(a.regressions, 1);
+}
+
+TEST(FlowscopeVerdict, JsonIsDeterministicAndParses) {
+  const Analysis a = analyze_fixtures("flowscope_regress.json");
+  const std::string once = verdict_json(a);
+  const std::string twice = verdict_json(analyze_fixtures("flowscope_regress.json"));
+  EXPECT_EQ(once, twice);
+
+  namespace json = vpga::obs::json;
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(once, doc, &error)) << error;
+  const json::Value* schema = doc.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string, "vpga.flowscope.v1");
+  const json::Value* summary = doc.find("summary");
+  ASSERT_NE(summary, nullptr);
+  const json::Value* regressions = summary->find("regressions");
+  ASSERT_NE(regressions, nullptr);
+  EXPECT_GE(regressions->number, 1.0);
+  const json::Value* deltas = doc.find("deltas");
+  ASSERT_NE(deltas, nullptr);
+  EXPECT_TRUE(deltas->is_array());
+  EXPECT_FALSE(deltas->array.empty());
+}
+
+TEST(FlowscopeVerdict, MarkdownNamesTheRegressedStage) {
+  const Analysis a = analyze_fixtures("flowscope_regress.json");
+  const std::string md = trajectory_markdown(a);
+  EXPECT_NE(md.find("stage.pack"), std::string::npos);
+  EXPECT_NE(md.find("regress"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Tests for per-stage memory profiling (src/obs/memtrack.*): the tracker
+// itself, innermost-span attribution, and the FlowOptions::memtrack surface
+// (stage.*.alloc_* counters in FlowReport::obs, off by default).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/plb.hpp"
+#include "designs/designs.hpp"
+#include "flow/flow.hpp"
+#include "obs/memtrack.hpp"
+#include "obs/obs.hpp"
+
+namespace vpga {
+namespace {
+
+designs::BenchmarkDesign small_design() {
+  return {designs::make_ripple_adder(12), 8000.0, true};
+}
+
+TEST(MemTracker, CountsAllocationsWhileBound) {
+  obs::memtrack::MemTracker tracker;
+  {
+    obs::memtrack::ScopedMemTrack bind(&tracker);
+    auto block = std::make_unique<char[]>(1 << 16);
+    block[0] = 1;
+  }
+  const auto& t = tracker.totals();
+  EXPECT_GE(t.alloc_count, 1);
+  EXPECT_GE(t.alloc_bytes, 1 << 16);
+  EXPECT_GE(t.peak_live_bytes, 1 << 16);
+  EXPECT_GE(t.free_count, 1);
+
+  // Unbound again: further allocations are invisible to this tracker.
+  const long long count_before = tracker.totals().alloc_count;
+  auto untracked = std::make_unique<char[]>(1 << 16);
+  untracked[0] = 1;
+  EXPECT_EQ(tracker.totals().alloc_count, count_before);
+}
+
+TEST(MemTracker, AttributesToInnermostFrame) {
+  obs::memtrack::MemTracker tracker;
+  obs::memtrack::ScopedMemTrack bind(&tracker);
+  tracker.push_frame();  // outer
+  auto outer_block = std::make_unique<char[]>(1 << 12);
+  outer_block[0] = 1;
+  tracker.push_frame();  // inner
+  auto inner_block = std::make_unique<char[]>(1 << 20);
+  inner_block[0] = 1;
+  const obs::memtrack::FrameStats inner = tracker.pop_frame();
+  const obs::memtrack::FrameStats outer = tracker.pop_frame();
+
+  EXPECT_GE(inner.alloc_bytes, 1 << 20);
+  EXPECT_GE(inner.alloc_count, 1);
+  // The outer frame's own bytes exclude the inner allocation (innermost
+  // attribution) ...
+  EXPECT_GE(outer.alloc_bytes, 1 << 12);
+  EXPECT_LT(outer.alloc_bytes, 1 << 20);
+  // ... but its peak folds the child's peak in: the inner megabyte was live
+  // while the outer frame was open.
+  EXPECT_GE(outer.peak_live_bytes, 1 << 20);
+}
+
+TEST(MemTrackFlow, ProducesPerStageAllocCounters) {
+  flow::FlowOptions opts;
+  opts.metrics = true;
+  opts.memtrack = true;
+  opts.seed = 7;
+  const auto arch = core::PlbArchitecture::granular();
+  const auto rep = flow::run_flow(small_design(), arch, 'b', opts);
+
+  EXPECT_TRUE(rep.obs.memtrack_enabled);
+  EXPECT_GT(rep.obs.counter("stage.map.alloc_bytes"), 0);
+  EXPECT_GT(rep.obs.counter("stage.map.alloc_count"), 0);
+  EXPECT_GT(rep.obs.counter("stage.map.peak_live_bytes"), 0);
+  EXPECT_GT(rep.obs.counter("stage.pack.alloc_bytes"), 0);
+  // Whole-run totals from FlowOptions::memtrack plumbing in run_flow.
+  EXPECT_GT(rep.obs.counter("flow.alloc_bytes"), 0);
+  EXPECT_GT(rep.obs.counter("flow.alloc_count"), 0);
+  EXPECT_GT(rep.obs.counter("flow.peak_live_bytes"), 0);
+  // The run allocates at least what any single stage allocates.
+  EXPECT_GE(rep.obs.counter("flow.alloc_bytes"),
+            rep.obs.counter("stage.pack.alloc_bytes"));
+}
+
+TEST(MemTrackFlow, OffByDefaultLeavesNoAllocCounters) {
+  flow::FlowOptions opts;
+  opts.metrics = true;
+  opts.seed = 7;
+  const auto arch = core::PlbArchitecture::granular();
+  const auto rep = flow::run_flow(small_design(), arch, 'b', opts);
+
+  EXPECT_FALSE(rep.obs.memtrack_enabled);
+  for (const auto& [name, value] : rep.obs.counters) {
+    EXPECT_EQ(name.find(".alloc_bytes"), std::string::npos) << name;
+    EXPECT_EQ(name.find(".alloc_count"), std::string::npos) << name;
+    EXPECT_EQ(name.find(".peak_live_bytes"), std::string::npos) << name;
+  }
+  EXPECT_EQ(rep.obs.counter("flow.alloc_bytes"), 0);
+}
+
+}  // namespace
+}  // namespace vpga

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <set>
 #include <string>
@@ -16,22 +17,9 @@
 
 #include "designs/designs.hpp"
 #include "flow/flow.hpp"
+#include "obs/export.hpp"
 #include "obs/json.hpp"
-
-// Global allocation counter for the disabled-overhead test. Safe here: each
-// test source is its own binary, so this override cannot leak elsewhere.
-namespace {
-std::atomic<long long> g_allocations{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#include "obs/memtrack.hpp"
 
 namespace vpga::obs {
 namespace {
@@ -249,31 +237,110 @@ TEST(Json, BasicPlaneEscapesStillDecodeDirectly) {
   EXPECT_EQ(v.string, "\xED\x9F\xBF\xEE\x80\x80");
 }
 
+// --- Shortest round-trip double formatting ----------------------------------
+// json::format_double must print the shortest decimal string that strtods
+// back to the exact same bits — "0.15", never "0.14999999999999999".
+
+TEST(Json, FormatDoubleIsShortestRoundTrip) {
+  EXPECT_EQ(json::format_double(0.15), "0.15");
+  EXPECT_EQ(json::format_double(0.1), "0.1");
+  EXPECT_EQ(json::format_double(0.0), "0");
+  EXPECT_EQ(json::format_double(-2.5), "-2.5");
+  EXPECT_EQ(json::format_double(1e30), "1e+30");
+  // Values with no short representation still round-trip exactly.
+  for (double v : {1.0 / 3.0, 2.0 / 7.0, 0.1 + 0.2, 546.2095801219772,
+                   1.7976931348623157e308, -4.9e-324}) {
+    const std::string s = json::format_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(Json, FormatDoubleNeverEmitsNonFiniteTokens) {
+  // JSON has no Infinity/NaN literals; the formatter degrades to 0.
+  EXPECT_EQ(json::format_double(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json::format_double(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+// --- OpenMetrics exposition -------------------------------------------------
+
+TEST(OpenMetrics, EmitsCountersGaugesHistogramsAndEof) {
+  ObsContext ctx(false, true);
+  const ScopedObs bind(&ctx);
+  count("route.ripups", 3);
+  gauge("route.peak_congestion", 0.25);
+  observe("pack.displacement_um", 3.0);
+  observe("pack.displacement_um", 1000.0);
+  const std::string text = openmetrics_text(ctx.report());
+
+  // Counters: dotted names become vpga_-prefixed underscored families with
+  // the mandatory _total sample suffix.
+  EXPECT_NE(text.find("# TYPE vpga_route_ripups counter"), std::string::npos);
+  EXPECT_NE(text.find("vpga_route_ripups_total 3"), std::string::npos);
+  // Gauges keep the bare family name.
+  EXPECT_NE(text.find("# TYPE vpga_route_peak_congestion gauge"), std::string::npos);
+  EXPECT_NE(text.find("vpga_route_peak_congestion 0.25"), std::string::npos);
+  // Histograms: cumulative le buckets, +Inf closes at count, _sum/_count.
+  EXPECT_NE(text.find("# TYPE vpga_pack_displacement_um histogram"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("vpga_pack_displacement_um_sum 1003"), std::string::npos);
+  EXPECT_NE(text.find("vpga_pack_displacement_um_count 2"), std::string::npos);
+  // The spec's required terminator, exactly at the end.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetrics, HistogramBucketsAreCumulative) {
+  ObsContext ctx(false, true);
+  const ScopedObs bind(&ctx);
+  observe("pack.displacement_um", 0.5);  // bucket 0 (le 1)
+  observe("pack.displacement_um", 3.0);  // bucket 2 (le 4)
+  const std::string text = openmetrics_text(ctx.report());
+  // le="1" sees one sample, le="4" sees both (cumulative, not per-bucket).
+  EXPECT_NE(text.find("le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("le=\"4\"} 2"), std::string::npos);
+}
+
+TEST(OpenMetrics, RegisterServeGaugesExposesDaemonFamilies) {
+  ObsContext ctx(false, true);
+  register_serve_gauges(ctx.metrics());
+  const std::string text = openmetrics_text(ctx.report());
+  EXPECT_NE(text.find("# TYPE vpga_serve_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("vpga_serve_queue_depth 0"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vpga_serve_cache_hit_rate gauge"), std::string::npos);
+}
+
 // --- Disabled-path overhead -------------------------------------------------
 
 TEST(Overhead, DisabledInstrumentationDoesNotAllocate) {
+  // The library's own operator new hook (memtrack.cpp) is the allocation
+  // counter: bind a tracker to this thread and watch its totals. The flight
+  // recorder stays at its always-on default, so this also proves the
+  // flight-on span path is allocation-free (names land in a fixed buffer).
   // Warm up any lazy thread-local initialization.
   { const Span warmup("warmup"); }
   count("warmup");
+  memtrack::MemTracker tracker;
+  const memtrack::ScopedMemTrack track(&tracker);
 
-  const long long before = g_allocations.load();
+  const long long before = tracker.totals().alloc_count;
   for (int i = 0; i < 1000; ++i) {
-    const Span s("hot.path.span");
+    const Span s("hot.path.span.longer.than.sso.buffers");
     count("hot.path.counter", i);
     observe("hot.path.histogram", static_cast<double>(i));
     gauge("hot.path.gauge", static_cast<double>(i));
   }
-  EXPECT_EQ(g_allocations.load(), before)
+  EXPECT_EQ(tracker.totals().alloc_count, before)
       << "instrumentation with no bound context must not allocate";
 
   ObsContext off(false, false);
-  const ScopedObs bind(&off);
-  const long long before_off = g_allocations.load();
+  const ScopedObs bind(&off);  // rebinds the tracker slot to none...
+  const memtrack::ScopedMemTrack retrack(&tracker);  // ...so bind it back
+  const long long before_off = tracker.totals().alloc_count;
   for (int i = 0; i < 1000; ++i) {
     const Span s("hot.path.span");
     count("hot.path.counter", i);
   }
-  EXPECT_EQ(g_allocations.load(), before_off)
+  EXPECT_EQ(tracker.totals().alloc_count, before_off)
       << "instrumentation with a fully disabled context must not allocate";
 }
 

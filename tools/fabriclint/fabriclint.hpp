@@ -34,11 +34,14 @@ struct Finding {
 struct ObsRegistry {
   std::set<std::string, std::less<>> spans;
   std::set<std::string, std::less<>> metrics;
-  [[nodiscard]] bool empty() const { return spans.empty() && metrics.empty(); }
+  std::set<std::string, std::less<>> events;
+  [[nodiscard]] bool empty() const {
+    return spans.empty() && metrics.empty() && events.empty();
+  }
 };
 
-/// Scrapes kSpanNames / kMetricNames string literals out of the registry
-/// header's content (src/obs/names.hpp).
+/// Scrapes kSpanNames / kMetricNames / kEventNames string literals out of
+/// the registry header's content (src/obs/names.hpp).
 ObsRegistry parse_obs_registry(std::string_view names_hpp);
 
 /// Lints one translation unit. `rel_path` decides rule scoping: io.* and

@@ -11,10 +11,14 @@ bool load_flow_profile(std::string_view json_text, StageProfile& out,
   namespace json = vpga::obs::json;
   json::Value doc;
   if (!json::parse(json_text, doc, error)) return false;
+  // Accepts every vpga.flow_bench schema version: v1 and v2 share the
+  // "runs[].stages" timing layout this profile consumes (v2 only adds the
+  // per-run "memory" object, which hotness scoring ignores).
   const json::Value* schema = doc.find("schema");
   if (schema == nullptr || !schema->is_string() ||
-      schema->string.rfind("vpga.flow_bench.", 0) != 0) {
-    if (error != nullptr) *error = "not a vpga.flow_bench document";
+      (schema->string != "vpga.flow_bench.v1" &&
+       schema->string != "vpga.flow_bench.v2")) {
+    if (error != nullptr) *error = "not a vpga.flow_bench v1/v2 document";
     return false;
   }
   const json::Value* runs = doc.find("runs");

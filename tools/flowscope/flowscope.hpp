@@ -1,0 +1,108 @@
+#pragma once
+/// \file flowscope.hpp
+/// Noise-aware perf-trajectory analysis over BENCH_flow.json snapshots.
+///
+/// CI used to byte-diff the committed BENCH_flow.json against a freshly
+/// generated one, which cannot distinguish a real regression from timer
+/// noise (and went red on every wall-clock wiggle). flowscope replaces that
+/// with a model: given N >= 1 baseline snapshots and one candidate, it
+///
+///   - normalizes per-stage times by the median stage ratio, so a uniformly
+///     faster/slower machine shifts no verdicts (only *relative* stage
+///     movement counts);
+///   - estimates per-stage noise (cv) from baseline repeats when there are
+///     two or more, and falls back to a configurable default otherwise;
+///   - classifies each stage / counter / memory column / report quantity as
+///     regress, improve or neutral against a threshold of z*cv + floor;
+///   - emits a deterministic verdict document (`vpga.flowscope.v1`) and a
+///     markdown trajectory table, and exits nonzero on any regression.
+///
+/// Counters are deterministic work measures, so they compare exactly by
+/// default; memory columns get a wide tolerance (allocation sizes are
+/// libc-dependent); report quantities are QoR and compare near-exactly.
+/// Loads both vpga.flow_bench.v1 and .v2 snapshots (v1 has no memory data).
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vpga::flowscope {
+
+/// One flow run (one cell of the paper's tables) from one snapshot.
+struct Run {
+  double total_us = 0;
+  std::map<std::string, double> stage_us;   ///< "stage.pack" -> microseconds
+  std::map<std::string, double> counters;   ///< deterministic work counters
+  std::map<std::string, double> memory;     ///< "stage.pack/alloc_bytes" -> value
+  std::map<std::string, double> report;     ///< QoR quantities
+};
+
+/// One parsed BENCH_flow.json document.
+struct Snapshot {
+  std::string path;
+  int schema_version = 0;  ///< 1 or 2
+  double scale = 1.0;
+  std::map<std::string, Run> runs;  ///< key "design/arch/flow"
+};
+
+/// Parses one snapshot (schema v1 or v2). Returns false with a message in
+/// *error on malformed input or an unknown schema.
+bool load_snapshot(std::string_view text, std::string_view path, Snapshot& out,
+                   std::string* error);
+
+struct Options {
+  double z = 3.0;            ///< threshold = z * cv + min_rel for stage times
+  double default_cv = 0.05;  ///< per-stage cv assumed with < 2 baseline repeats
+  double min_cv = 0.01;      ///< floor under measured cv (2 repeats undersample)
+  double min_rel = 0.02;     ///< absolute relative-change floor for stage times
+  double min_share = 0.03;   ///< stages under this share of total time are advisory
+  double counter_tol = 0.0;  ///< counters are deterministic: exact by default
+  double mem_tol = 0.10;     ///< memory columns: allocator/libc wiggle room
+  double report_tol = 1e-9;  ///< QoR: bit-stable modulo serialization
+};
+
+enum class Verdict { kNeutral, kImprove, kRegress, kNew, kGone };
+std::string_view to_string(Verdict v);
+
+/// One compared quantity. `gated` distinguishes verdicts that count toward
+/// the exit code from advisory ones (e.g. stages under min_share).
+struct Delta {
+  std::string kind;  ///< "time" | "counter" | "memory" | "report"
+  std::string id;    ///< "stage.pack" or "alu8/granular_plb/b/route.ripups"
+  double baseline = 0;
+  double candidate = 0;
+  double delta_rel = 0;   ///< normalized relative change (time) or plain (rest)
+  double cv = 0;          ///< measured/estimated noise (time rows only)
+  double threshold = 0;   ///< |delta_rel| beyond this flips the verdict
+  int repeats = 1;        ///< baseline snapshots contributing
+  bool gated = true;
+  Verdict verdict = Verdict::kNeutral;
+};
+
+struct Analysis {
+  std::vector<std::string> baseline_paths;
+  std::string candidate_path;
+  Options options;
+  std::vector<Delta> deltas;  ///< sorted by (kind, id): deterministic
+  int regressions = 0;        ///< gated regress verdicts
+  int improvements = 0;       ///< gated improve verdicts
+  /// Per-snapshot aggregate stage shares (baselines in order, candidate
+  /// last) for the markdown trajectory table.
+  std::vector<std::map<std::string, double>> stage_share;
+};
+
+/// Compares `candidate` against `baselines` (>= 1). Every quantity present
+/// on either side produces a delta row; kNew/kGone rows are never gated.
+Analysis analyze(const std::vector<Snapshot>& baselines, const Snapshot& candidate,
+                 const Options& options);
+
+/// The verdict document, schema `vpga.flowscope.v1`. Deterministic: same
+/// inputs, same bytes.
+std::string verdict_json(const Analysis& analysis);
+
+/// Human-readable markdown: stage trajectory table + changed counters,
+/// memory movement and QoR drift.
+std::string trajectory_markdown(const Analysis& analysis);
+
+}  // namespace vpga::flowscope

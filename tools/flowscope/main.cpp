@@ -1,0 +1,140 @@
+// flowscope — noise-aware perf-trajectory gate over BENCH_flow.json.
+//
+//   flowscope BASE1.json [BASE2.json ...] CANDIDATE.json
+//             [--out verdict.json] [--md trajectory.md]
+//             [--z Z] [--default-cv CV] [--min-cv CV] [--min-rel R]
+//             [--min-share S] [--counter-tol T] [--mem-tol T] [--report-tol T]
+//
+// The last positional file is the candidate; everything before it is a
+// baseline (>= 1; give several repeats of the same baseline to measure
+// per-stage noise instead of assuming --default-cv). Exits 0 when no gated
+// quantity regressed, 1 on regression, 2 on usage or load errors. The
+// verdict JSON (schema vpga.flowscope.v1) is deterministic for fixed inputs
+// and options, so it can be diffed and archived. See docs/OBSERVABILITY.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flowscope.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool parse_number(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != nullptr && *end == '\0' && end != s;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASE1.json [BASE2.json ...] CANDIDATE.json\n"
+               "          [--out verdict.json] [--md trajectory.md]\n"
+               "          [--z Z] [--default-cv CV] [--min-cv CV] [--min-rel R]\n"
+               "          [--min-share S] [--counter-tol T] [--mem-tol T]\n"
+               "          [--report-tol T]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vpga::flowscope;
+  std::vector<std::string> inputs;
+  std::string out_path;
+  std::string md_path;
+  Options options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    double* num_opt = nullptr;
+    if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--md" && i + 1 < argc) {
+      md_path = argv[++i];
+    } else if (a == "--z") {
+      num_opt = &options.z;
+    } else if (a == "--default-cv") {
+      num_opt = &options.default_cv;
+    } else if (a == "--min-cv") {
+      num_opt = &options.min_cv;
+    } else if (a == "--min-rel") {
+      num_opt = &options.min_rel;
+    } else if (a == "--min-share") {
+      num_opt = &options.min_share;
+    } else if (a == "--counter-tol") {
+      num_opt = &options.counter_tol;
+    } else if (a == "--mem-tol") {
+      num_opt = &options.mem_tol;
+    } else if (a == "--report-tol") {
+      num_opt = &options.report_tol;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(a);
+    }
+    if (num_opt != nullptr &&
+        (i + 1 >= argc || !parse_number(argv[++i], *num_opt)))
+      return usage(argv[0]);
+  }
+  if (inputs.size() < 2) return usage(argv[0]);
+
+  std::vector<Snapshot> baselines(inputs.size() - 1);
+  Snapshot candidate;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::string text;
+    std::string err;
+    Snapshot& dst = i + 1 < inputs.size() ? baselines[i] : candidate;
+    if (!read_file(inputs[i], text)) {
+      std::fprintf(stderr, "[flowscope] cannot read %s\n", inputs[i].c_str());
+      return 2;
+    }
+    if (!load_snapshot(text, inputs[i], dst, &err)) {
+      std::fprintf(stderr, "[flowscope] %s: %s\n", inputs[i].c_str(), err.c_str());
+      return 2;
+    }
+  }
+
+  const Analysis analysis = analyze(baselines, candidate, options);
+  const std::string verdict = verdict_json(analysis);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "[flowscope] cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << verdict;
+  }
+  if (!md_path.empty()) {
+    std::ofstream md(md_path);
+    if (!md) {
+      std::fprintf(stderr, "[flowscope] cannot write %s\n", md_path.c_str());
+      return 2;
+    }
+    md << trajectory_markdown(analysis);
+  }
+
+  std::fprintf(stderr, "[flowscope] %zu delta(s): %d regression(s), %d improvement(s)\n",
+               analysis.deltas.size(), analysis.regressions, analysis.improvements);
+  for (const Delta& d : analysis.deltas) {
+    if (d.verdict != Verdict::kRegress && d.verdict != Verdict::kImprove) continue;
+    std::fprintf(stderr, "[flowscope]   %s %s %s: %+.1f%% (threshold %.1f%%)%s\n",
+                 std::string(to_string(d.verdict)).c_str(), d.kind.c_str(),
+                 d.id.c_str(), d.delta_rel * 100.0, d.threshold * 100.0,
+                 d.gated ? "" : " [advisory]");
+  }
+  return analysis.regressions > 0 ? 1 : 0;
+}
