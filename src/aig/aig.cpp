@@ -129,22 +129,25 @@ AigMapping from_netlist(const netlist::Netlist& nl) {
     if (n.type == netlist::NodeType::kConst)
       of[id.index()] = (n.func.bits() & 1) ? kTrue : kFalse;
   }
+  std::vector<Lit> leaves;
+  leaves.reserve(logic::TruthTable::kMaxVars);
   for (netlist::NodeId id : nl.topo_order()) {
     const auto& n = nl.node(id);
+    const auto fins = nl.fanins(id);
     if (n.type == netlist::NodeType::kOutput) {
-      of[id.index()] = of[n.fanins[0].index()];
+      of[id.index()] = of[fins[0].index()];
       continue;
     }
-    std::vector<Lit> leaves;
-    leaves.reserve(n.fanins.size());
-    for (netlist::NodeId fi : n.fanins) leaves.push_back(of[fi.index()]);
+    leaves.clear();
+    for (netlist::NodeId fi : fins) leaves.push_back(of[fi.index()]);
     of[id.index()] = m.aig.build_function(n.func, leaves);
   }
   for (netlist::NodeId id : nl.outputs()) m.aig.add_output(of[id.index()]);
   m.num_pos = nl.outputs().size();
   for (netlist::NodeId id : nl.dffs()) {
-    VPGA_ASSERT_MSG(nl.node(id).fanins[0].valid(), "DFF left unconnected");
-    m.aig.add_output(of[nl.node(id).fanins[0].index()]);
+    const netlist::NodeId d = nl.fanin(id, 0);
+    VPGA_ASSERT_MSG(d.valid(), "DFF left unconnected");
+    m.aig.add_output(of[d.index()]);
   }
   return m;
 }
@@ -155,6 +158,7 @@ netlist::Netlist to_netlist(const AigMapping& m, const std::string& name) {
   std::vector<netlist::NodeId> of(aig.num_nodes());
   // Boundary inputs.
   std::vector<netlist::NodeId> dff_nodes;
+  dff_nodes.reserve(aig.num_inputs() - m.num_pis);
   for (std::size_t i = 0; i < aig.num_inputs(); ++i) {
     if (i < m.num_pis) {
       of[aig.inputs()[i]] = nl.add_input("i" + std::to_string(i));

@@ -98,6 +98,18 @@ double priced(const core::ConfigSpec& spec, const std::vector<Pool>& pools,
   return total;
 }
 
+/// Reusable scratch for one compact_from() call. The pricing loop and the
+/// two rebalance passes each need the same per-pool vectors; keeping them
+/// here lets heap capacity survive across rounds instead of being reallocated
+/// (the compact stage runs once per flow but its inner loop re-covers the
+/// whole netlist three times).
+struct CompactScratch {
+  std::vector<double> pool_demand;
+  std::vector<std::pair<core::ComponentClass, double>> flexible;
+  std::vector<std::vector<netlist::NodeId>> members;
+  std::vector<double> load;
+};
+
 /// Rebalances single-slot configurations across resource pools: a function
 /// covered as (say) an MX whose truth table is also ND3WI-implementable can
 /// be re-labelled to the ND3 configuration when the mux pool is the binding
@@ -105,7 +117,8 @@ double priced(const core::ConfigSpec& spec, const std::vector<Pool>& pools,
 /// the relabeling freedom the paper describes ("a 2-input Nand function on a
 /// non-critical path can be mapped into a MUX ... allowing an extra function
 /// to be packed in the PLB") applied globally.
-void rebalance_pools(netlist::Netlist& nl, const core::PlbArchitecture& arch) {
+void rebalance_pools(netlist::Netlist& nl, const core::PlbArchitecture& arch,
+                     CompactScratch& scratch) {
   struct PoolCfg {
     core::ConfigKind config;
     int per_tile;
@@ -128,8 +141,11 @@ void rebalance_pools(netlist::Netlist& nl, const core::PlbArchitecture& arch) {
     return -1;
   };
   // Bucket the re-taggable nodes per current pool.
-  std::vector<std::vector<netlist::NodeId>> members(pools.size());
-  std::vector<double> load(pools.size(), 0.0);
+  if (scratch.members.size() < pools.size()) scratch.members.resize(pools.size());
+  auto& members = scratch.members;
+  for (auto& bucket : members) bucket.clear();
+  auto& load = scratch.load;
+  load.assign(pools.size(), 0.0);
   for (netlist::NodeId id : nl.all_nodes()) {
     const int p = pool_of(nl.node(id));
     if (p < 0) continue;
@@ -227,31 +243,38 @@ CompactionResult compact_from(const netlist::Netlist& reference, const netlist::
   synth::MapResult r;
   double best_tiles = 1e18;
   constexpr int kPricingRounds = 3;
+  // The target's structure (options, coverage sets, arcs) is round-invariant;
+  // only the prices change. Build it once — including the FA-half — and
+  // reprice in place each round.
+  auto target = synth::config_target(arch, lib);
+  std::size_t fa_half_idx = target.options.size() + 1;  // sentinel: no FA-half
+  if (arch.supports(core::ConfigKind::kFullAdder)) {
+    // FA-half option: half the full-adder footprint, since fusion pairs
+    // two halves into one tile. Tagged kFullAdder so the demand accounting
+    // below and the fusion pass can recognize them (unpaired leftovers are
+    // demoted to XOAMX by fa_fusion).
+    synth::MatchOption half;
+    half.name = "FA-half";
+    half.coverage = fa_half_coverage();
+    half.arc = core::config_spec(core::ConfigKind::kXoamx, lib).arc;
+    half.config_tag = static_cast<std::uint8_t>(core::ConfigKind::kFullAdder);
+    fa_half_idx = target.options.size();
+    target.options.push_back(std::move(half));
+  }
   // Per-round scratch, hoisted so the heap capacity carries across rounds.
-  std::vector<double> pool_demand;
-  std::vector<std::pair<core::ComponentClass, double>> flexible;
+  CompactScratch scratch;
+  auto& pool_demand = scratch.pool_demand;
+  auto& flexible = scratch.flexible;
   for (int round = 0; round < kPricingRounds; ++round) {
     const obs::Span round_span("compact.pricing_round");
     obs::count("compact.cover_rounds");
-    auto target = synth::config_target(arch, lib);
-    for (auto& opt : target.options) {
-      const auto spec = core::config_spec(static_cast<core::ConfigKind>(opt.config_tag), lib);
-      opt.area_um2 = priced(spec, pools, multiplier);
-    }
-    if (arch.supports(core::ConfigKind::kFullAdder)) {
-      // FA-half option: half the full-adder footprint, since fusion pairs
-      // two halves into one tile. Tagged kFullAdder so the demand accounting
-      // below and the fusion pass can recognize them (unpaired leftovers are
-      // demoted to XOAMX by fa_fusion).
-      synth::MatchOption half;
-      half.name = "FA-half";
-      half.coverage = fa_half_coverage();
-      const auto& xoamx = core::config_spec(core::ConfigKind::kXoamx, lib);
-      half.arc = xoamx.arc;
-      half.area_um2 =
-          0.5 * priced(core::config_spec(core::ConfigKind::kFullAdder, lib), pools, multiplier);
-      half.config_tag = static_cast<std::uint8_t>(core::ConfigKind::kFullAdder);
-      target.options.push_back(std::move(half));
+    for (std::size_t oi = 0; oi < target.options.size(); ++oi) {
+      auto& opt = target.options[oi];
+      // The FA-half aliases kFullAdder's tag, so price by index, not tag:
+      // it costs half the full adder under the current multipliers.
+      const double scale = oi == fa_half_idx ? 0.5 : 1.0;
+      const auto& spec = core::config_spec(static_cast<core::ConfigKind>(opt.config_tag), lib);
+      opt.area_um2 = scale * priced(spec, pools, multiplier);
     }
     auto cover = synth::tech_map(reference, target, synth::Objective::kArea);
     // Tiles needed per pool (the quantity flow b actually pays for). An
@@ -260,6 +283,7 @@ CompactionResult compact_from(const netlist::Netlist& reference, const netlist::
     // the packer's fungible slot assignment achieves.
     pool_demand.assign(pools.size(), 0.0);
     flexible.clear();
+    flexible.reserve(cover.netlist.num_nodes());
     for (netlist::NodeId id : cover.netlist.all_nodes()) {
       const auto& n = cover.netlist.node(id);
       if (n.type != netlist::NodeType::kComb || !n.has_config()) continue;
@@ -314,7 +338,7 @@ CompactionResult compact_from(const netlist::Netlist& reference, const netlist::
   // unpaired halves demoted to XOAMX, or the comparison is biased. Then
   // spread single-slot configurations across the tile's resource pools.
   fuse_full_adders(r.netlist, arch);
-  rebalance_pools(r.netlist, arch);
+  rebalance_pools(r.netlist, arch, scratch);
 
   // Commit the configuration cover when it improves on the mapped netlist in
   // real gate area (r.stats uses tile prices, not comparable units) or in the
@@ -379,7 +403,7 @@ CompactionResult compact_from(const netlist::Netlist& reference, const netlist::
   // Fuse (sum, carry) pairs into full-adder macros (Section 2.2) and spread
   // the identity-relabelled cover across the resource pools as well.
   fuse_full_adders(result.netlist, arch);
-  rebalance_pools(result.netlist, arch);
+  rebalance_pools(result.netlist, arch, scratch);
 
   result.report.area_after_um2 = gate_area(result.netlist, lib);
   int nodes_after = 0;

@@ -41,8 +41,9 @@ int fuse_full_adders(netlist::Netlist& nl, const core::PlbArchitecture& arch) {
   std::map<Key, std::vector<netlist::NodeId>> sums, carries;
   for (netlist::NodeId id : nl.all_nodes()) {
     const auto& n = nl.node(id);
-    if (!n.has_config() || n.in_macro() || n.fanins.size() != 3) continue;
-    Key k{n.fanins[0].value(), n.fanins[1].value(), n.fanins[2].value()};
+    if (!n.has_config() || n.in_macro() || n.num_fanins() != 3) continue;
+    const auto fins = nl.fanins(id);
+    Key k{fins[0].value(), fins[1].value(), fins[2].value()};
     std::sort(k.begin(), k.end());
     if (is_sum(n)) sums[k].push_back(id);
     else if (is_carry(n)) carries[k].push_back(id);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "common/assert.hpp"
 #include "logic/truth_table.hpp"
@@ -10,21 +11,23 @@
 namespace vpga::logic {
 namespace {
 
+/// The 6 permutations of 3 variables, extended to TruthTable::kMaxVars.
+constexpr std::array<std::array<int, TruthTable::kMaxVars>, 6> kPerms3 = {{
+    {0, 1, 2, 3, 4, 5},
+    {0, 2, 1, 3, 4, 5},
+    {1, 0, 2, 3, 4, 5},
+    {1, 2, 0, 3, 4, 5},
+    {2, 0, 1, 3, 4, 5},
+    {2, 1, 0, 3, 4, 5},
+}};
+
 /// Enumerates all NPN transforms of tt: 6 permutations x 8 input negation
 /// masks x 2 output phases = 96 images (with duplicates).
 std::vector<std::uint8_t> npn_orbit(std::uint8_t tt) {
-  static const std::array<std::array<int, TruthTable::kMaxVars>, 6> kPerms = {{
-      {0, 1, 2, 3, 4, 5},
-      {0, 2, 1, 3, 4, 5},
-      {1, 0, 2, 3, 4, 5},
-      {1, 2, 0, 3, 4, 5},
-      {2, 0, 1, 3, 4, 5},
-      {2, 1, 0, 3, 4, 5},
-  }};
   std::vector<std::uint8_t> out;
   out.reserve(96);
   const TruthTable base(3, tt);
-  for (const auto& perm : kPerms) {
+  for (const auto& perm : kPerms3) {
     const TruthTable p = base.permute(perm);
     for (unsigned negs = 0; negs < 8; ++negs) {
       TruthTable t = p;
@@ -64,11 +67,103 @@ const char* class_name(std::uint8_t representative) {
   }
 }
 
+/// The 24 permutations of 4 variables, in lexicographic order.
+const std::array<std::array<std::uint8_t, 4>, 24>& perms4() {
+  static const auto perms = [] {
+    std::array<std::array<std::uint8_t, 4>, 24> out{};
+    std::array<std::uint8_t, 4> p = {0, 1, 2, 3};
+    int i = 0;
+    do {
+      out[static_cast<std::size_t>(i++)] = p;
+    } while (std::next_permutation(p.begin(), p.end()));
+    VPGA_ASSERT(i == 24);
+    return out;
+  }();
+  return perms;
+}
+
+/// Row-source maps for all 384 signed permutations of 4 inputs:
+/// image bit r = tt bit src[perm][neg][r]. Shared by the table builder and
+/// the brute-force reference so both enumerate the identical orbit.
+struct SignedPerm4 {
+  std::array<std::uint8_t, 16> src;
+};
+const std::array<SignedPerm4, 384>& signed_perms4() {
+  static const auto maps = [] {
+    std::array<SignedPerm4, 384> out{};
+    std::size_t k = 0;
+    for (const auto& perm : perms4()) {
+      for (unsigned neg = 0; neg < 16; ++neg) {
+        for (unsigned r = 0; r < 16; ++r) {
+          unsigned s = 0;
+          for (int v = 0; v < 4; ++v)
+            if (r & (1u << v)) s |= 1u << perm[static_cast<std::size_t>(v)];
+          out[k].src[r] = static_cast<std::uint8_t>(s ^ neg);
+        }
+        ++k;
+      }
+    }
+    return out;
+  }();
+  return maps;
+}
+
+std::uint16_t apply_signed_perm4(std::uint16_t tt, const SignedPerm4& sp) {
+  std::uint16_t image = 0;
+  for (unsigned r = 0; r < 16; ++r)
+    if (tt & (1u << sp.src[r])) image |= static_cast<std::uint16_t>(1u << r);
+  return image;
+}
+
 }  // namespace
 
-std::uint8_t npn_canonical(std::uint8_t tt) {
-  const auto orbit = npn_orbit(tt);
-  return orbit.front();
+const std::array<std::uint8_t, 256>& npn_canonical_table3() {
+  // Orbit-flooding: walk functions in ascending order; the first member of
+  // each class encountered is its numeric minimum, so the whole orbit is
+  // assigned in one sweep and every later member is a pure table hit.
+  static const auto table = [] {
+    std::array<std::uint8_t, 256> canon{};
+    std::array<bool, 256> assigned{};
+    for (int f = 0; f < 256; ++f) {
+      if (assigned[f]) continue;
+      for (std::uint8_t member : npn_orbit(static_cast<std::uint8_t>(f))) {
+        canon[member] = static_cast<std::uint8_t>(f);
+        assigned[member] = true;
+      }
+    }
+    return canon;
+  }();
+  return table;
+}
+
+std::uint8_t npn_canonical(std::uint8_t tt) { return npn_canonical_table3()[tt]; }
+
+std::uint8_t apply_npn3(std::uint8_t tt, const NpnTransform& t) {
+  std::array<int, TruthTable::kMaxVars> perm = {0, 1, 2, 3, 4, 5};
+  for (int v = 0; v < 3; ++v) perm[static_cast<std::size_t>(v)] = t.perm[static_cast<std::size_t>(v)];
+  TruthTable out = TruthTable(3, tt).permute(perm);
+  for (int v = 0; v < 3; ++v)
+    if (t.negate_mask & (1u << v)) out = out.negate_var(v);
+  if (t.negate_output) out = ~out;
+  return static_cast<std::uint8_t>(out.bits());
+}
+
+NpnTransform npn_canonical_transform(std::uint8_t tt) {
+  const std::uint8_t target = npn_canonical(tt);
+  for (const auto& perm : kPerms3) {
+    for (unsigned negs = 0; negs < 8; ++negs) {
+      for (int phase = 0; phase < 2; ++phase) {
+        NpnTransform t;
+        for (int v = 0; v < 3; ++v)
+          t.perm[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(perm[static_cast<std::size_t>(v)]);
+        t.negate_mask = static_cast<std::uint8_t>(negs);
+        t.negate_output = phase == 1;
+        if (apply_npn3(tt, t) == target) return t;
+      }
+    }
+  }
+  VPGA_ASSERT_MSG(false, "NPN orbit does not reach its own canonical form");
+  return {};
 }
 
 std::vector<std::uint8_t> npn_class_of(std::uint8_t tt) { return npn_orbit(tt); }
@@ -111,6 +206,66 @@ std::vector<double> npn_coverage(const FnSet3& set) {
   for (std::size_t i = 0; i < classes.size(); ++i)
     covered[i] = total[i] > 0 ? covered[i] / total[i] : 0.0;
   return covered;
+}
+
+const std::array<std::uint16_t, 65536>& npn_canonical_table4() {
+  // Same orbit-flooding as the 3-var table, with precomputed row-source maps
+  // (24 perms x 16 negation masks) so each of the 768 images of a class
+  // representative costs 16 bit probes. Total build work is ~222 classes x
+  // 768 images — a few million bit operations, done once per process.
+  static const auto table = [] {
+    auto canon = std::make_unique<std::array<std::uint16_t, 65536>>();
+    std::vector<bool> assigned(65536, false);
+    const auto& sps = signed_perms4();
+    for (std::uint32_t f = 0; f < 65536; ++f) {
+      if (assigned[f]) continue;
+      for (const auto& sp : sps) {
+        const std::uint16_t image = apply_signed_perm4(static_cast<std::uint16_t>(f), sp);
+        canon->at(image) = static_cast<std::uint16_t>(f);
+        assigned[image] = true;
+        const std::uint16_t comp = static_cast<std::uint16_t>(~image);
+        canon->at(comp) = static_cast<std::uint16_t>(f);
+        assigned[comp] = true;
+      }
+    }
+    return canon;
+  }();
+  return *table;
+}
+
+std::uint16_t npn_canonical4(std::uint16_t tt) { return npn_canonical_table4()[tt]; }
+
+const std::vector<std::uint16_t>& npn_representatives4() {
+  static const std::vector<std::uint16_t> reps = [] {
+    const auto& table = npn_canonical_table4();
+    std::vector<std::uint16_t> out;
+    for (std::uint32_t f = 0; f < 65536; ++f)
+      if (table[f] == f) out.push_back(static_cast<std::uint16_t>(f));
+    return out;  // ascending by construction
+  }();
+  return reps;
+}
+
+std::uint16_t apply_npn4(std::uint16_t tt, const NpnTransform& t) {
+  std::uint16_t out = 0;
+  for (unsigned r = 0; r < 16; ++r) {
+    unsigned s = 0;
+    for (int v = 0; v < 4; ++v)
+      if (r & (1u << v)) s |= 1u << t.perm[static_cast<std::size_t>(v)];
+    s ^= t.negate_mask;
+    if (tt & (1u << s)) out |= static_cast<std::uint16_t>(1u << r);
+  }
+  return t.negate_output ? static_cast<std::uint16_t>(~out) : out;
+}
+
+std::uint16_t npn_canonical4_brute(std::uint16_t tt) {
+  std::uint16_t best = tt;
+  for (const auto& sp : signed_perms4()) {
+    const std::uint16_t image = apply_signed_perm4(tt, sp);
+    best = std::min(best, image);
+    best = std::min(best, static_cast<std::uint16_t>(~image));
+  }
+  return best;
 }
 
 }  // namespace vpga::logic

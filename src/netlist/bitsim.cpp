@@ -26,8 +26,9 @@ void BitSimulator::set_state(std::size_t d, std::uint64_t patterns) {
 void BitSimulator::eval() {
   for (NodeId id : order_) {
     const Node& n = nl_.node(id);
+    const auto fins = nl_.fanins(id);
     if (n.type == NodeType::kOutput) {
-      values_[id.index()] = values_[n.fanins[0].index()];
+      values_[id.index()] = values_[fins[0].index()];
       continue;
     }
     // Evaluate the truth table bitwise over the fanin words: for each row r
@@ -38,8 +39,8 @@ void BitSimulator::eval() {
     for (int r = 0; r < rows; ++r) {
       if (!n.func.eval(static_cast<unsigned>(r))) continue;
       std::uint64_t term = ~std::uint64_t{0};
-      for (std::size_t k = 0; k < n.fanins.size(); ++k) {
-        const std::uint64_t v = values_[n.fanins[k].index()];
+      for (std::size_t k = 0; k < fins.size(); ++k) {
+        const std::uint64_t v = values_[fins[k].index()];
         term &= (r >> k) & 1 ? v : ~v;
       }
       out |= term;
@@ -55,7 +56,7 @@ std::uint64_t BitSimulator::output(std::size_t i) const {
 
 std::uint64_t BitSimulator::next_state(std::size_t d) const {
   VPGA_ASSERT(d < nl_.dffs().size());
-  const NodeId din = nl_.node(nl_.dffs()[d]).fanins[0];
+  const NodeId din = nl_.fanin(nl_.dffs()[d], 0);
   VPGA_ASSERT(din.valid());
   return values_[din.index()];
 }

@@ -28,28 +28,31 @@ void write_netlist(std::ostream& os, const Netlist& nl) {
   if (!nl.name().empty()) os << "name " << nl.name() << "\n";
   for (NodeId id : nl.all_nodes()) {
     const Node& n = nl.node(id);
+    const std::string& name = nl.name_of(id);
     os << "node " << id.value() << ' ';
     switch (n.type) {
       case NodeType::kInput:
-        os << "input " << n.name;
+        os << "input " << name;
         break;
       case NodeType::kConst:
         os << "const " << (n.func.bits() & 1);
         break;
       case NodeType::kOutput:
-        os << "output " << n.fanins[0].value() << ' ' << n.name;
+        os << "output " << nl.fanin(id, 0).value() << ' ' << name;
         break;
-      case NodeType::kDff:
-        os << "dff " << (n.fanins[0].valid() ? static_cast<long long>(n.fanins[0].value()) : -1LL);
-        if (!n.name.empty()) os << " name=" << n.name;
+      case NodeType::kDff: {
+        const NodeId d = nl.fanin(id, 0);
+        os << "dff " << (d.valid() ? static_cast<long long>(d.value()) : -1LL);
+        if (!name.empty()) os << " name=" << name;
         break;
+      }
       case NodeType::kComb: {
         os << "comb " << n.func.num_vars() << ' ' << std::hex << n.func.bits() << std::dec;
-        for (NodeId fi : n.fanins) os << ' ' << fi.value();
+        for (NodeId fi : nl.fanins(id)) os << ' ' << fi.value();
         if (n.cell) os << " cell=" << cell_token(*n.cell);
         if (n.has_config()) os << " config=" << static_cast<int>(n.config_tag);
         if (n.in_macro()) os << " macro=" << n.macro_rep.value();
-        if (!n.name.empty()) os << " name=" << n.name;
+        if (!name.empty()) os << " name=" << name;
         break;
       }
     }
@@ -85,6 +88,10 @@ ParseResult read_netlist(std::istream& is) {
   bool saw_end = false;
   // Deferred fixups: DFF D-pins may reference later nodes.
   std::vector<std::pair<NodeId, std::uint32_t>> dff_fixups;
+  dff_fixups.reserve(64);
+  // Scratch reused across node lines (fanin lists are tiny but frequent).
+  std::vector<NodeId> fanins;
+  fanins.reserve(logic::TruthTable::kMaxVars);
 
   while (std::getline(is, line)) {
     ++lineno;
@@ -131,7 +138,7 @@ ParseResult read_netlist(std::istream& is) {
       if (d >= 0) dff_fixups.emplace_back(ff, static_cast<std::uint32_t>(d));
       std::string attr;
       while (ls >> attr)
-        if (attr.rfind("name=", 0) == 0) nl.node(ff).name = attr.substr(5);
+        if (attr.rfind("name=", 0) == 0) nl.set_name(ff, attr.substr(5));
     } else if (type == "comb") {
       int nvars;
       std::string bits_hex;
@@ -143,14 +150,14 @@ ParseResult read_netlist(std::istream& is) {
       } catch (...) {
         return fail("bad truth table '" + bits_hex + "'");
       }
-      std::vector<NodeId> fanins;
+      fanins.clear();
       for (int i = 0; i < nvars; ++i) {
         std::uint32_t fi;
         if (!(ls >> fi)) return fail("comb expects " + std::to_string(nvars) + " fanins");
         if (fi >= id) return fail("comb fanins must be earlier nodes");
         fanins.emplace_back(fi);
       }
-      const NodeId c = nl.add_comb(logic::TruthTable(nvars, bits), std::move(fanins));
+      const NodeId c = nl.add_comb(logic::TruthTable(nvars, bits), fanins);
       std::string attr;
       while (ls >> attr) {
         if (attr.rfind("cell=", 0) == 0) {
@@ -162,7 +169,7 @@ ParseResult read_netlist(std::istream& is) {
         } else if (attr.rfind("macro=", 0) == 0) {
           nl.node(c).macro_rep = NodeId(static_cast<std::uint32_t>(std::stoul(attr.substr(6))));
         } else if (attr.rfind("name=", 0) == 0) {
-          nl.node(c).name = attr.substr(5);
+          nl.set_name(c, attr.substr(5));
         } else {
           return fail("unknown attribute '" + attr + "'");
         }

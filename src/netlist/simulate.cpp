@@ -25,22 +25,23 @@ void Simulator::eval() {
 
   for (NodeId id : order_) {
     const Node& n = nl_.node(id);
+    const auto fins = nl_.fanins(id);
     if (n.type == NodeType::kOutput) {
-      values_[id.index()] = values_[n.fanins[0].index()];
+      values_[id.index()] = values_[fins[0].index()];
       continue;
     }
     unsigned row = 0;
-    for (std::size_t k = 0; k < n.fanins.size(); ++k)
-      if (values_[n.fanins[k].index()]) row |= 1u << k;
+    for (std::size_t k = 0; k < fins.size(); ++k)
+      if (values_[fins[k].index()]) row |= 1u << k;
     values_[id.index()] = n.func.eval(row) ? 1 : 0;
   }
 }
 
 void Simulator::step() {
   for (std::size_t d = 0; d < nl_.dffs().size(); ++d) {
-    const Node& ff = nl_.node(nl_.dffs()[d]);
-    VPGA_ASSERT_MSG(ff.fanins[0].valid(), "DFF left unconnected");
-    state_[d] = values_[ff.fanins[0].index()];
+    const NodeId din = nl_.fanin(nl_.dffs()[d], 0);
+    VPGA_ASSERT_MSG(din.valid(), "DFF left unconnected");
+    state_[d] = values_[din.index()];
   }
 }
 

@@ -373,8 +373,8 @@ PackedDesign pack(const Netlist& nl, const place::Placement& placed,
     for (NodeId id : nl.all_nodes()) {
       if (!is_free_rider(nl, id)) continue;
       const auto& n = nl.node(id);
-      if (!n.fanins.empty() && n.fanins[0].valid()) {
-        const int t = out.tile_of_node[n.fanins[0].index()];
+      if (n.num_fanins() > 0 && nl.fanin(id, 0).valid()) {
+        const int t = out.tile_of_node[nl.fanin(id, 0).index()];
         if (t >= 0) {
           out.tile_of_node[id.index()] = t;
           out.legal.pos[id.index()] = {(t % gw + 0.5) * out.tile_size_um,

@@ -25,8 +25,7 @@ bool is_placeable(const Netlist& nl, NodeId id) {
 std::vector<std::vector<std::uint32_t>> adjacency(const Netlist& nl) {
   std::vector<std::vector<std::uint32_t>> adj(nl.num_nodes());
   for (NodeId id : nl.all_nodes()) {
-    const auto& n = nl.node(id);
-    for (NodeId fi : n.fanins) {
+    for (NodeId fi : nl.fanins(id)) {
       if (!fi.valid()) continue;
       adj[id.index()].push_back(fi.value());
       adj[fi.index()].push_back(id.value());
@@ -207,8 +206,7 @@ double total_hpwl(const Netlist& nl, const Placement& p) {
     maxy[net] = std::max(maxy[net], pt.y);
   };
   for (netlist::NodeId id : nl.all_nodes()) {
-    const auto& n = nl.node(id);
-    for (netlist::NodeId fi : n.fanins) {
+    for (netlist::NodeId fi : nl.fanins(id)) {
       if (!fi.valid()) continue;
       has_sink[fi.index()] = 1;
       absorb(fi.index(), p.pos[id.index()]);

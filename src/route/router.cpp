@@ -157,8 +157,7 @@ RoutingResult route(const Netlist& nl, const place::Placement& placed, double ti
   std::optional<obs::Span> decompose_span(std::in_place, "route.decompose");
   std::vector<std::vector<std::uint32_t>> sinks(nl.num_nodes());
   for (NodeId id : nl.all_nodes()) {
-    const auto& n = nl.node(id);
-    for (NodeId fi : n.fanins)
+    for (NodeId fi : nl.fanins(id))
       if (fi.valid()) sinks[fi.index()].push_back(id.value());
   }
   std::vector<TwoPin> pins;

@@ -12,15 +12,18 @@ int insert_buffers(netlist::Netlist& nl, int max_fanout, const library::CellLibr
   (void)lib;
   int inserted = 0;
   bool changed = true;
+  // Sink references per driver: (consumer node, fanin pin). Hoisted out of
+  // the fixpoint loop; per-entry clear() keeps the inner vectors' capacity.
+  std::vector<std::vector<std::pair<netlist::NodeId, int>>> sinks;
   while (changed) {
     changed = false;
-    // Sink references per driver: (consumer node, fanin pin).
-    std::vector<std::vector<std::pair<netlist::NodeId, int>>> sinks(nl.num_nodes());
+    if (sinks.size() < nl.num_nodes()) sinks.resize(nl.num_nodes());
+    for (auto& s : sinks) s.clear();
     for (netlist::NodeId id : nl.all_nodes()) {
-      auto& n = nl.node(id);
-      for (std::size_t p = 0; p < n.fanins.size(); ++p)
-        if (n.fanins[p].valid())
-          sinks[n.fanins[p].index()].emplace_back(id, static_cast<int>(p));
+      const auto fins = nl.fanins(id);
+      for (std::size_t p = 0; p < fins.size(); ++p)
+        if (fins[p].valid())
+          sinks[fins[p].index()].emplace_back(id, static_cast<int>(p));
     }
     const std::size_t original_count = nl.num_nodes();
     for (std::size_t d = 0; d < original_count; ++d) {
@@ -34,7 +37,7 @@ int insert_buffers(netlist::Netlist& nl, int max_fanout, const library::CellLibr
       const auto buf = nl.add_comb(logic::TruthTable(1, 0b10), {driver});
       nl.node(buf).cell = library::CellKind::kBuf;
       for (std::size_t i = keep; i < fan.size(); ++i)
-        nl.node(fan[i].first).fanins[static_cast<std::size_t>(fan[i].second)] = buf;
+        nl.set_fanin(fan[i].first, static_cast<std::size_t>(fan[i].second), buf);
       ++inserted;
       changed = true;
     }

@@ -66,47 +66,55 @@ Cut trivial_cut(std::uint32_t node) {
 }  // namespace
 
 CutDatabase::CutDatabase(const aig::Aig& g, int cut_limit) {
-  cuts_.resize(g.num_nodes());
+  offsets_.assign(g.num_nodes() + 1, 0);
+  pool_.reserve(g.num_nodes() * static_cast<std::size_t>(cut_limit) / 2);
+  // Node 0 (constant) gets a single trivial cut so lookups are total, but it
+  // must not participate in merging: an AND with a constant fanin keeps only
+  // its own trivial cut (the constant is below every cut frontier).
+  pool_.push_back(trivial_cut(0));
+  offsets_[1] = 1;
+
+  std::vector<Cut> result;  // scratch, reused across nodes
+  result.reserve(static_cast<std::size_t>(cut_limit) * 4);
   for (std::uint32_t n = 1; n < g.num_nodes(); ++n) {
-    if (!g.node(n).is_and) {
-      cuts_[n].push_back(trivial_cut(n));
-      continue;
-    }
-    const auto f0 = g.node(n).fanin0;
-    const auto f1 = g.node(n).fanin1;
-    const auto& set0 = cuts_[aig::node_of(f0)];
-    const auto& set1 = cuts_[aig::node_of(f1)];
-    std::vector<Cut> result;
-    auto consider = [&](const Cut& c) {
-      if (std::find(result.begin(), result.end(), c) != result.end()) return;
-      result.push_back(c);
-    };
-    for (const Cut& a : set0) {
-      for (const Cut& b : set1) {
-        Cut merged;
-        if (!merge_leaves(a, b, merged)) continue;
-        std::uint8_t ta = remap(a.tt, a, merged);
-        std::uint8_t tb = remap(b.tt, b, merged);
-        if (aig::is_complemented(f0)) ta = static_cast<std::uint8_t>(~ta);
-        if (aig::is_complemented(f1)) tb = static_cast<std::uint8_t>(~tb);
-        merged.tt = ta & tb;
-        consider(merged);
+    result.clear();
+    if (g.node(n).is_and) {
+      const auto f0 = g.node(n).fanin0;
+      const auto f1 = g.node(n).fanin1;
+      // Empty spans for a constant fanin (see node-0 note above). These views
+      // read earlier pool slices; appends happen only after merging, so the
+      // pool cannot reallocate under them.
+      const auto set0 = aig::node_of(f0) == 0 ? std::span<const Cut>{} : cuts(aig::node_of(f0));
+      const auto set1 = aig::node_of(f1) == 0 ? std::span<const Cut>{} : cuts(aig::node_of(f1));
+      auto consider = [&](const Cut& c) {
+        if (std::find(result.begin(), result.end(), c) != result.end()) return;
+        result.push_back(c);
+      };
+      for (const Cut& a : set0) {
+        for (const Cut& b : set1) {
+          Cut merged;
+          if (!merge_leaves(a, b, merged)) continue;
+          std::uint8_t ta = remap(a.tt, a, merged);
+          std::uint8_t tb = remap(b.tt, b, merged);
+          if (aig::is_complemented(f0)) ta = static_cast<std::uint8_t>(~ta);
+          if (aig::is_complemented(f1)) tb = static_cast<std::uint8_t>(~tb);
+          merged.tt = ta & tb;
+          consider(merged);
+        }
       }
+      // Priority: fewer leaves first (cheaper to match and pack), stable beyond.
+      std::stable_sort(result.begin(), result.end(),
+                       [](const Cut& a, const Cut& b) { return a.size < b.size; });
+      if (static_cast<int>(result.size()) > cut_limit)
+        result.resize(static_cast<std::size_t>(cut_limit));
     }
-    // Priority: fewer leaves first (cheaper to match and pack), stable beyond.
-    std::stable_sort(result.begin(), result.end(),
-                     [](const Cut& a, const Cut& b) { return a.size < b.size; });
-    if (static_cast<int>(result.size()) > cut_limit) result.resize(static_cast<std::size_t>(cut_limit));
     // The trivial cut last: always available for leaf use by fanouts.
     result.push_back(trivial_cut(n));
-    cuts_[n] = std::move(result);
+    pool_.insert(pool_.end(), result.begin(), result.end());
+    offsets_[n + 1] = static_cast<std::uint32_t>(pool_.size());
   }
-  // Node 0 (constant): single trivial cut so lookups are total.
-  cuts_[0].push_back(trivial_cut(0));
 
-  long long total = 0;
-  for (const auto& set : cuts_) total += static_cast<long long>(set.size());
-  obs::count("map.cuts_enumerated", total);
+  obs::count("map.cuts_enumerated", static_cast<long long>(pool_.size()));
 }
 
 }  // namespace vpga::synth

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "aig/aig.hpp"
@@ -35,7 +36,10 @@ struct Cut {
   }
 };
 
-/// Per-node cut sets for the whole AIG.
+/// Per-node cut sets for the whole AIG, stored CSR-style: one flat pool of
+/// cuts plus per-node offsets, so the database is two allocations total and
+/// per-cut side tables (e.g. the mapper's match masks) can be indexed flat by
+/// `offset(node) + cut_index`.
 class CutDatabase {
  public:
   /// Enumerates cuts bottom-up, keeping at most `cut_limit` cuts per node
@@ -43,12 +47,16 @@ class CutDatabase {
   /// node also keeps its trivial cut implicitly (leaf use).
   CutDatabase(const aig::Aig& g, int cut_limit = 8);
 
-  [[nodiscard]] const std::vector<Cut>& cuts(std::uint32_t node) const {
-    return cuts_[node];
+  [[nodiscard]] std::span<const Cut> cuts(std::uint32_t node) const {
+    return {pool_.data() + offsets_[node], offsets_[node + 1] - offsets_[node]};
   }
+  /// Flat pool index of `node`'s first cut.
+  [[nodiscard]] std::size_t offset(std::uint32_t node) const { return offsets_[node]; }
+  [[nodiscard]] std::size_t total_cuts() const { return pool_.size(); }
 
  private:
-  std::vector<std::vector<Cut>> cuts_;
+  std::vector<Cut> pool_;
+  std::vector<std::uint32_t> offsets_;
 };
 
 }  // namespace vpga::synth

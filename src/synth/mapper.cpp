@@ -1,6 +1,7 @@
 #include "synth/mapper.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "aig/aig.hpp"
@@ -8,6 +9,7 @@
 #include "core/config.hpp"
 #include "obs/obs.hpp"
 #include "synth/cuts.hpp"
+#include "synth/match_index.hpp"
 
 namespace vpga::synth {
 namespace {
@@ -74,6 +76,21 @@ MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
   const aig::Aig& g = m.aig;
   const CutDatabase cuts(g, cut_limit);
 
+  // NPN match index: each cut's matching-option set is one table load,
+  // computed once here instead of per (round, cut, option) coverage probes
+  // inside the DP. `match_attempts` counts these lookups — one per cut.
+  const MatchIndex index(target);
+  std::vector<MatchIndex::OptionMask> cut_masks(cuts.total_cuts());
+  long long match_attempts = 0;
+  for (std::uint32_t n = 0; n < g.num_nodes(); ++n) {
+    const auto node_cuts = cuts.cuts(n);
+    const std::size_t flat = cuts.offset(n);
+    for (std::size_t ci = 0; ci < node_cuts.size(); ++ci) {
+      ++match_attempts;
+      cut_masks[flat + ci] = index.options_for(node_cuts[ci].tt);
+    }
+  }
+
   // Fanout estimates for area flow, refined from the chosen cover each round
   // (structural AIG fanouts systematically overestimate sharing, which makes
   // composite supernodes look worse than they are).
@@ -95,17 +112,19 @@ MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
   std::vector<char> needed(g.num_nodes(), 0);
 
   // Dynamic program over AND nodes (node indices are topological).
-  long long match_attempts = 0;  // accumulated locally, counted once below
   auto run_dp = [&] {
     for (std::uint32_t n = 1; n < g.num_nodes(); ++n) {
       if (!g.node(n).is_and) continue;
       Choice bc;
       bc.arrival = std::numeric_limits<double>::infinity();
       bc.area_flow = std::numeric_limits<double>::infinity();
-      const auto& node_cuts = cuts.cuts(n);
+      const auto node_cuts = cuts.cuts(n);
+      const std::size_t flat = cuts.offset(n);
       for (int ci = 0; ci < static_cast<int>(node_cuts.size()); ++ci) {
         const Cut& c = node_cuts[static_cast<std::size_t>(ci)];
         if (c.size == 1 && c.leaves[0] == n) continue;  // trivial self-cut
+        MatchIndex::OptionMask mask = cut_masks[flat + static_cast<std::size_t>(ci)];
+        if (mask == 0) continue;
         double leaves_arrival = 0.0;
         double leaves_flow = 0.0;
         for (int li = 0; li < c.size; ++li) {
@@ -113,10 +132,12 @@ MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
           leaves_arrival = std::max(leaves_arrival, best[leaf].arrival);
           leaves_flow += best[leaf].area_flow / std::max(1, fanout[leaf]);
         }
-        for (int oi = 0; oi < static_cast<int>(target.options.size()); ++oi) {
+        // Iterate matching options lowest-index-first (countr_zero), which is
+        // the same ascending order as the old per-option scan, so every
+        // tie-break — and therefore the chosen cover — is unchanged.
+        for (; mask != 0; mask &= mask - 1) {
+          const int oi = std::countr_zero(mask);
           const MatchOption& opt = target.options[static_cast<std::size_t>(oi)];
-          ++match_attempts;
-          if (!opt.coverage.test(c.tt)) continue;
           Choice cand;
           cand.cut = ci;
           cand.option = oi;
@@ -137,9 +158,11 @@ MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
   };
 
   // Cover extraction from the outputs.
+  std::vector<std::uint32_t> stack;  // reused across rounds
+  stack.reserve(g.num_nodes());
   auto extract_cover = [&] {
     std::fill(needed.begin(), needed.end(), 0);
-    std::vector<std::uint32_t> stack;
+    stack.clear();
     for (Lit o : g.outputs()) {
       const auto root = aig::node_of(o);
       if (g.node(root).is_and && !needed[root]) {
@@ -183,11 +206,12 @@ MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
   out = netlist::Netlist(src.name());
   std::vector<netlist::NodeId> emitted(g.num_nodes());
   std::vector<netlist::NodeId> dff_nodes;
+  dff_nodes.reserve(g.num_inputs() - m.num_pis);
   for (std::size_t i = 0; i < g.num_inputs(); ++i) {
     if (i < m.num_pis) {
-      emitted[g.inputs()[i]] = out.add_input(src.node(src.inputs()[i]).name);
+      emitted[g.inputs()[i]] = out.add_input(src.name_of(src.inputs()[i]));
     } else {
-      const auto& ff_name = src.node(src.dffs()[i - m.num_pis]).name;
+      const auto& ff_name = src.name_of(src.dffs()[i - m.num_pis]);
       const auto ff = out.add_dff(netlist::NodeId{}, ff_name);
       emitted[g.inputs()[i]] = ff;
       dff_nodes.push_back(ff);
@@ -198,15 +222,15 @@ MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
     const Choice& ch = best[n];
     const Cut& c = cuts.cuts(n)[static_cast<std::size_t>(ch.cut)];
     const MatchOption& opt = target.options[static_cast<std::size_t>(ch.option)];
-    std::vector<netlist::NodeId> fanins;
-    fanins.reserve(c.size);
+    std::array<netlist::NodeId, 3> fanins;
     for (int li = 0; li < c.size; ++li) {
       const auto leaf = c.leaves[static_cast<std::size_t>(li)];
       VPGA_ASSERT(emitted[leaf].valid());
-      fanins.push_back(emitted[leaf]);
+      fanins[static_cast<std::size_t>(li)] = emitted[leaf];
     }
     const auto mask = (std::uint64_t{1} << (1 << c.size)) - 1;
-    const auto id = out.add_comb(logic::TruthTable(c.size, c.tt & mask), std::move(fanins));
+    const auto id = out.add_comb(logic::TruthTable(c.size, c.tt & mask),
+                                 std::span<const netlist::NodeId>(fanins.data(), c.size));
     out.node(id).cell = opt.cell;
     out.node(id).config_tag = opt.config_tag;
     result.stats.area_um2 += opt.area_um2;
@@ -238,7 +262,7 @@ MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
   for (std::size_t j = 0; j < g.outputs().size(); ++j) {
     const auto driver = resolve(g.outputs()[j]);
     if (j < m.num_pos) {
-      out.add_output(driver, src.node(src.outputs()[j]).name);
+      out.add_output(driver, src.name_of(src.outputs()[j]));
     } else {
       out.set_dff_input(dff_nodes[j - m.num_pos], driver);
     }
@@ -257,7 +281,7 @@ MapResult tech_map(const netlist::Netlist& src, const MapTarget& target,
       const auto& n = out.node(id);
       if (n.type != netlist::NodeType::kComb) continue;
       int l = 0;
-      for (netlist::NodeId fi : n.fanins)
+      for (netlist::NodeId fi : out.fanins(id))
         if (out.node(fi).type == netlist::NodeType::kComb)
           l = std::max(l, level[fi.index()]);
       level[id.index()] = l + 1;

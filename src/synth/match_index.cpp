@@ -1,0 +1,37 @@
+#include "synth/match_index.hpp"
+
+#include "common/assert.hpp"
+
+namespace vpga::synth {
+
+MatchIndex::MatchIndex(const MapTarget& target) {
+  VPGA_ASSERT_MSG(target.options.size() <= kMaxOptions,
+                  "MatchIndex supports at most 32 match options");
+  const auto& canon = logic::npn_canonical_table3();
+
+  // Test each NPN class representative once per option...
+  std::array<OptionMask, 256> rep_mask{};
+  for (unsigned tt = 0; tt < 256; ++tt) {
+    if (canon[tt] != tt) continue;  // not a representative
+    OptionMask m = 0;
+    for (std::size_t oi = 0; oi < target.options.size(); ++oi)
+      if (target.options[oi].coverage.test(tt)) m |= OptionMask{1} << oi;
+    rep_mask[tt] = m;
+    if (m != 0) ++matchable_classes_;
+  }
+  // ...then flood the class answer over every member through the canonical
+  // table, so a lookup is a single load with no canonicalization at map time.
+  for (unsigned tt = 0; tt < 256; ++tt) mask_[tt] = rep_mask[canon[tt]];
+
+  // Closure audit: coverage sets are documented NPN-closed (mapper.hpp); a
+  // target violating that must fail loudly here, not mis-match in the DP.
+  for (unsigned tt = 0; tt < 256; ++tt) {
+    OptionMask exact = 0;
+    for (std::size_t oi = 0; oi < target.options.size(); ++oi)
+      if (target.options[oi].coverage.test(tt)) exact |= OptionMask{1} << oi;
+    VPGA_ASSERT_MSG(exact == mask_[tt],
+                    "match option coverage is not closed under NPN");
+  }
+}
+
+}  // namespace vpga::synth

@@ -1,0 +1,55 @@
+#pragma once
+/// \file match_index.hpp
+/// NPN match index: per-MapTarget precomputed cut-function -> option-set map.
+///
+/// The mapper DP used to probe every (cut, option) pair with
+/// `option.coverage.test(cut.tt)` — the single hottest inner loop of the flow
+/// (BENCH_flow.json: ~173k probes on a small suite). Coverage sets are closed
+/// under the via-programmable pin freedoms (input negation / permutation,
+/// output inversion), i.e. each one is a union of NPN classes, so matching
+/// only depends on the cut function's NPN class. This index tests each class
+/// *representative* once per option at construction, floods the class mask
+/// over all members through the canonical table (logic::npn_canonical_table3),
+/// and verifies the expansion against the exact per-tt answer — a non-closed
+/// coverage set would be caught at construction, not mis-matched at map time.
+///
+/// After construction, matching a cut is one load: `options_for(cut.tt)`
+/// returns the bitmask of matching options (bit i = target.options[i]).
+
+#include <array>
+#include <cstdint>
+
+#include "logic/npn.hpp"
+#include "synth/mapper.hpp"
+
+namespace vpga::synth {
+
+class MatchIndex {
+ public:
+  /// Bitmask over MapTarget::options; supports up to 32 options.
+  using OptionMask = std::uint32_t;
+  static constexpr std::size_t kMaxOptions = 32;
+
+  explicit MatchIndex(const MapTarget& target);
+
+  /// Options implementing the 3-input function `tt` (don't-care variables
+  /// beyond a cut's size are already don't-cares of tt itself).
+  [[nodiscard]] OptionMask options_for(std::uint8_t tt) const {
+    return mask_[tt];
+  }
+
+  /// Number of distinct NPN classes with at least one matching option.
+  [[nodiscard]] int matchable_classes() const { return matchable_classes_; }
+
+  /// The transform used to canonicalize `tt` when the index was verified;
+  /// exposes the cached-NPN plumbing for the equivalence tests.
+  [[nodiscard]] static logic::NpnTransform transform_for(std::uint8_t tt) {
+    return logic::npn_canonical_transform(tt);
+  }
+
+ private:
+  std::array<OptionMask, 256> mask_{};
+  int matchable_classes_ = 0;
+};
+
+}  // namespace vpga::synth

@@ -46,7 +46,7 @@ PowerReport estimate_power(const netlist::Netlist& nl, const place::Placement& p
   for (netlist::NodeId id : nl.all_nodes()) {
     const auto& n = nl.node(id);
     const double pin = input_cap(n);
-    for (netlist::NodeId fi : n.fanins) {
+    for (netlist::NodeId fi : nl.fanins(id)) {
       if (!fi.valid()) continue;
       cap_ff[fi.index()] += pin;
       if (opts.net_length_um.empty()) {

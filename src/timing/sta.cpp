@@ -60,8 +60,7 @@ TimingReport analyze(const Netlist& nl, const place::Placement& placed,
   std::vector<double> load_ff(nl.num_nodes(), 0.0);  // pin + wire load per driver
   std::vector<double> wire_len(nl.num_nodes(), 0.0);
   for (NodeId id : nl.all_nodes()) {
-    const auto& n = nl.node(id);
-    for (NodeId fi : n.fanins) {
+    for (NodeId fi : nl.fanins(id)) {
       if (!fi.valid()) continue;
       load_ff[fi.index()] += nt[id.index()].input_cap_ff;
       if (opts.net_length_um.empty()) {
@@ -88,12 +87,12 @@ TimingReport analyze(const Netlist& nl, const place::Placement& placed,
   std::vector<double> arrival(nl.num_nodes(), 0.0);
   for (NodeId ff : nl.dffs())
     arrival[ff.index()] = nt[ff.index()].arc.delay(load_ff[ff.index()]);
-  const auto order = nl.topo_order();
+  const auto& order = nl.topo_order();
   obs::count("sta.arrival_propagations", static_cast<long long>(order.size()));
   for (NodeId id : order) {
     const auto& n = nl.node(id);
     double in_arr = 0.0;
-    for (NodeId fi : n.fanins)
+    for (NodeId fi : nl.fanins(id))
       if (fi.valid())
         in_arr = std::max(in_arr, arrival[fi.index()] + wire_delay_ps(fi));
     if (n.type == NodeType::kOutput) {
@@ -109,7 +108,7 @@ TimingReport analyze(const Netlist& nl, const place::Placement& placed,
   for (NodeId id : nl.outputs())
     endpoints.push_back({id, T - arrival[id.index()]});
   for (NodeId ff : nl.dffs()) {
-    const NodeId d = nl.node(ff).fanins[0];
+    const NodeId d = nl.fanin(ff, 0);
     VPGA_ASSERT(d.valid());
     endpoints.push_back(
         {ff, T - (arrival[d.index()] + wire_delay_ps(d)) - nt[ff.index()].setup_ps});
@@ -131,7 +130,7 @@ TimingReport analyze(const Netlist& nl, const place::Placement& placed,
   std::vector<double> required(nl.num_nodes(), 1e18);
   for (NodeId id : nl.outputs()) required[id.index()] = T;
   for (NodeId ff : nl.dffs()) {
-    const NodeId d = nl.node(ff).fanins[0];
+    const NodeId d = nl.fanin(ff, 0);
     required[d.index()] = std::min(required[d.index()],
                                    T - nt[ff.index()].setup_ps - wire_delay_ps(d));
   }
@@ -141,7 +140,7 @@ TimingReport analyze(const Netlist& nl, const place::Placement& placed,
     const double own_delay =
         n.type == NodeType::kOutput ? 0.0 : nt[id.index()].arc.delay(load_ff[id.index()]);
     const double req_at_inputs = required[id.index()] - own_delay;
-    for (NodeId fi : n.fanins)
+    for (NodeId fi : nl.fanins(id))
       if (fi.valid())
         required[fi.index()] =
             std::min(required[fi.index()], req_at_inputs - wire_delay_ps(fi));

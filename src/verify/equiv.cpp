@@ -27,7 +27,7 @@ std::string describe_cone(const Netlist& nl, NodeId root) {
     stack.pop_back();
     ++nodes;
     if (nl.node(id).type == netlist::NodeType::kInput) ++inputs;
-    for (NodeId fi : nl.node(id).fanins) {
+    for (NodeId fi : nl.fanins(id)) {
       if (!fi.valid() || fi.index() >= nl.num_nodes() || seen[fi.index()]) continue;
       seen[fi.index()] = 1;
       stack.push_back(fi.value());
@@ -77,7 +77,7 @@ void check_equivalence(const Netlist& golden, const Netlist& revised,
       const NodeId out = revised.outputs()[o];
       const int pattern = __builtin_ctzll(diff);
       report.add(Severity::kError, "equiv.output-diverges", stage, out,
-                 "output '" + revised.node(out).name + "' (index " + std::to_string(o) +
+                 "output '" + revised.name_of(out) + "' (index " + std::to_string(o) +
                      ") diverges at cycle " + std::to_string(cycle) + ", pattern " +
                      std::to_string(pattern) + "; revised cone: " +
                      describe_cone(revised, out));

@@ -22,13 +22,14 @@ void lint_nodes(const Netlist& nl, const std::string& stage, VerifyReport& repor
   for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
     const NodeId id{i};
     const Node& n = nl.node(id);
+    const auto fins = nl.fanins(id);
 
-    for (std::size_t k = 0; k < n.fanins.size(); ++k) {
-      const NodeId fi = n.fanins[k];
+    for (std::size_t k = 0; k < fins.size(); ++k) {
+      const NodeId fi = fins[k];
       if (!in_range(nl, fi)) {
         if (n.type == NodeType::kDff && !fi.valid()) {
           report.add(Severity::kError, "lint.undriven-dff", stage, id,
-                     "DFF '" + n.name + "' has an unconnected D pin");
+                     "DFF '" + nl.name_of(id) + "' has an unconnected D pin");
         } else {
           report.add(Severity::kError, "lint.invalid-fanin", stage, id,
                      "fanin " + std::to_string(k) + " is invalid or out of range");
@@ -38,34 +39,34 @@ void lint_nodes(const Netlist& nl, const std::string& stage, VerifyReport& repor
       if (nl.node(fi).type == NodeType::kOutput)
         report.add(Severity::kError, "lint.output-read", stage, id,
                    "fanin " + std::to_string(k) + " reads primary output '" +
-                       nl.node(fi).name + "'");
+                       nl.name_of(fi) + "'");
     }
 
     switch (n.type) {
       case NodeType::kComb:
-        if (static_cast<std::size_t>(n.func.num_vars()) != n.fanins.size())
+        if (static_cast<std::size_t>(n.func.num_vars()) != fins.size())
           report.add(Severity::kError, "lint.arity-mismatch", stage, id,
                      "truth table has " + std::to_string(n.func.num_vars()) +
-                         " vars but node has " + std::to_string(n.fanins.size()) +
+                         " vars but node has " + std::to_string(fins.size()) +
                          " fanins");
         break;
       case NodeType::kOutput:
-        if (n.fanins.size() != 1)
+        if (fins.size() != 1)
           report.add(Severity::kError, "lint.io-boundary", stage, id,
-                     "primary output '" + n.name + "' must have exactly one fanin");
+                     "primary output '" + nl.name_of(id) + "' must have exactly one fanin");
         break;
       case NodeType::kDff:
-        if (n.fanins.size() != 1)
+        if (fins.size() != 1)
           report.add(Severity::kError, "lint.io-boundary", stage, id,
-                     "DFF '" + n.name + "' must have exactly one fanin (D)");
+                     "DFF '" + nl.name_of(id) + "' must have exactly one fanin (D)");
         break;
       case NodeType::kInput:
-        if (!n.fanins.empty())
+        if (!fins.empty())
           report.add(Severity::kError, "lint.io-boundary", stage, id,
-                     "primary input '" + n.name + "' must not have fanins");
+                     "primary input '" + nl.name_of(id) + "' must not have fanins");
         break;
       case NodeType::kConst:
-        if (!n.fanins.empty())
+        if (!fins.empty())
           report.add(Severity::kError, "lint.io-boundary", stage, id,
                      "constant must not have fanins");
         else if (n.func.num_vars() != 0)
@@ -92,7 +93,7 @@ void lint_cycles(const Netlist& nl, const std::string& stage, VerifyReport& repo
   for (std::size_t i = 0; i < n; ++i) {
     if (!is_sink(i)) continue;
     ++expected;
-    for (NodeId fi : nl.node(NodeId(i)).fanins) {
+    for (NodeId fi : nl.fanins(NodeId(i))) {
       if (!in_range(nl, fi)) continue;
       if (nl.node(fi).type == NodeType::kComb) {
         ++pending[i];
@@ -139,7 +140,7 @@ void lint_hygiene(const Netlist& nl, const std::string& stage, VerifyReport& rep
   while (!stack.empty()) {
     const NodeId id{static_cast<std::size_t>(stack.back())};
     stack.pop_back();
-    for (NodeId fi : nl.node(id).fanins) push_root(fi);
+    for (NodeId fi : nl.fanins(id)) push_root(fi);
   }
   for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
     const Node& n = nl.node(NodeId(i));
@@ -150,12 +151,12 @@ void lint_hygiene(const Netlist& nl, const std::string& stage, VerifyReport& rep
 
   std::unordered_map<std::string, std::size_t> first_named;
   for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
-    const Node& n = nl.node(NodeId(i));
-    if (n.name.empty()) continue;
-    const auto [it, inserted] = first_named.emplace(n.name, i);
+    const std::string& name = nl.name_of(NodeId(i));
+    if (name.empty()) continue;
+    const auto [it, inserted] = first_named.emplace(name, i);
     if (!inserted)
       report.add(Severity::kWarning, "lint.duplicate-name", stage, NodeId(i),
-                 "name '" + n.name + "' already used by node " +
+                 "name '" + name + "' already used by node " +
                      std::to_string(it->second));
   }
 }

@@ -81,7 +81,7 @@ void check_post_map(const Netlist& nl, const PlbArchitecture& arch, const std::s
     }
     // Exact coverage: the node's function must be realizable by the cell
     // under the via-programmable pin freedoms.
-    if (static_cast<std::size_t>(n.func.num_vars()) == n.fanins.size() &&
+    if (n.func.num_vars() == n.num_fanins() &&
         !lib.spec(*n.cell).coverage.test(n.func.extend(3).bits() & 0xFF))
       report.add(Severity::kError, "map.cell-function-mismatch", stage, id,
                  std::string("function ") + n.func.to_string() +
@@ -240,7 +240,7 @@ void check_post_route(const Netlist& nl, const pack::PackedDesign& packed,
   for (NodeId id : nl.all_nodes()) {
     const int sink_tile = tile_of(id);
     if (sink_tile < 0) continue;
-    for (NodeId fi : nl.node(id).fanins) {
+    for (NodeId fi : nl.fanins(id)) {
       if (!in_range(nl, fi)) continue;
       const int driver_tile = tile_of(fi);
       if (driver_tile < 0 || driver_tile == sink_tile) continue;

@@ -18,7 +18,7 @@ std::uint64_t read_bus_outputs(const Simulator& sim, const netlist::Netlist& nl,
   std::uint64_t v = 0;
   int bit = 0;
   for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
-    const auto& name = nl.node(nl.outputs()[o]).name;
+    const auto& name = nl.name_of(nl.outputs()[o]);
     if (name.rfind(prefix + "[", 0) == 0) {
       if (sim.output(o)) v |= std::uint64_t{1} << bit;
       ++bit;
@@ -31,7 +31,7 @@ void drive_bus(Simulator& sim, const netlist::Netlist& nl, const std::string& pr
                std::uint64_t value) {
   int bit = 0;
   for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
-    const auto& name = nl.node(nl.inputs()[i]).name;
+    const auto& name = nl.name_of(nl.inputs()[i]);
     if (name.rfind(prefix + "[", 0) == 0) {
       sim.set_input(i, (value >> bit) & 1);
       ++bit;
@@ -42,7 +42,7 @@ void drive_bus(Simulator& sim, const netlist::Netlist& nl, const std::string& pr
 void drive_pin(Simulator& sim, const netlist::Netlist& nl, const std::string& name,
                bool value) {
   for (std::size_t i = 0; i < nl.inputs().size(); ++i)
-    if (nl.node(nl.inputs()[i]).name == name) {
+    if (nl.name_of(nl.inputs()[i]) == name) {
       sim.set_input(i, value);
       return;
     }
@@ -62,7 +62,7 @@ TEST(Designs, RippleAdderAddsExhaustively) {
       const auto sum = read_bus_outputs(sim, nl, "sum");
       bool cout = false;
       for (std::size_t o = 0; o < nl.outputs().size(); ++o)
-        if (nl.node(nl.outputs()[o]).name == "cout") cout = sim.output(o);
+        if (nl.name_of(nl.outputs()[o]) == "cout") cout = sim.output(o);
       EXPECT_EQ(sum | (static_cast<std::uint64_t>(cout) << 4), a + b);
     }
 }
@@ -170,7 +170,7 @@ TEST(Designs, FpuMultiplySmall) {
   // 1.0 * 1.5 = 1.5: mantissa 100000, no exponent bump, sign = negative.
   EXPECT_EQ(read_bus_outputs(sim, nl, "z_man"), 32u);
   for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
-    const auto& name = nl.node(nl.outputs()[o]).name;
+    const auto& name = nl.name_of(nl.outputs()[o]);
     if (name == "z_sign") EXPECT_TRUE(sim.output(o));
     if (name == "z_zero") EXPECT_FALSE(sim.output(o));
   }
@@ -194,7 +194,7 @@ TEST(Designs, NetworkSwitchRoutesPacket) {
   sim.eval();
   EXPECT_EQ(read_bus_outputs(sim, nl, "out1_data"), 0xABu);
   for (std::size_t o = 0; o < nl.outputs().size(); ++o)
-    if (nl.node(nl.outputs()[o]).name == "out1_valid") EXPECT_TRUE(sim.output(o));
+    if (nl.name_of(nl.outputs()[o]) == "out1_valid") EXPECT_TRUE(sim.output(o));
 }
 
 TEST(Designs, FirewireRegisterFileReadsBack) {

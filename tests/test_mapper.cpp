@@ -102,7 +102,7 @@ TEST(Mapper, XorChainsPreferMuxOnGranular) {
   const auto r = tech_map(src, cell_target(PlbArchitecture::granular()), Objective::kDelay);
   for (netlist::NodeId id : r.netlist.all_nodes()) {
     const auto& n = r.netlist.node(id);
-    if (n.type == netlist::NodeType::kComb && n.fanins.size() >= 2)
+    if (n.type == netlist::NodeType::kComb && n.num_fanins() >= 2)
       EXPECT_EQ(*n.cell, library::CellKind::kMux2);
   }
   EXPECT_TRUE(netlist::equivalent_random_sim(src, r.netlist, 200));

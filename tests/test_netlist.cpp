@@ -89,8 +89,7 @@ TEST(Netlist, CheckCatchesCombinationalCycle) {
   Netlist nl;
   const auto a = nl.add_input("a");
   const auto g1 = nl.add_and(a, a);  // placeholder fanin, rewired below
-  auto& node = nl.node(g1);
-  node.fanins[1] = g1;  // self-loop
+  nl.set_fanin(g1, 1, g1);  // self-loop
   const auto r = nl.check();
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.message.find("cycle"), std::string::npos);

@@ -139,8 +139,8 @@ TEST(Pack, FreeRidersGetTileOfDriver) {
   for (netlist::NodeId id : p.nl.all_nodes()) {
     const auto& n = p.nl.node(id);
     if (n.type != netlist::NodeType::kComb || n.has_config()) continue;
-    if (n.fanins.empty() || !n.fanins[0].valid()) continue;
-    const int driver_tile = d.tile_of_node[n.fanins[0].index()];
+    if (n.num_fanins() == 0 || !p.nl.fanin(id, 0).valid()) continue;
+    const int driver_tile = d.tile_of_node[p.nl.fanin(id, 0).index()];
     if (driver_tile >= 0) EXPECT_EQ(d.tile_of_node[id.index()], driver_tile);
   }
 }

@@ -64,9 +64,11 @@ TEST(Lint, CleanNetlistHasNoFindings) {
 TEST(Lint, DroppedFaninFiresArityMismatch) {
   auto nl = good_netlist();
   for (NodeId id : nl.all_nodes()) {
-    auto& n = nl.node(id);
-    if (n.type == NodeType::kComb && n.fanins.size() >= 2) {
-      n.fanins.pop_back();  // the seeded corruption: one fanin dropped
+    const auto& n = nl.node(id);
+    if (n.type == NodeType::kComb && n.num_fanins() >= 2) {
+      // The seeded corruption: one fanin dropped.
+      const auto fins = nl.fanins(id);
+      nl.replace_fanins(id, fins.subspan(0, fins.size() - 1));
       break;
     }
   }
@@ -78,9 +80,9 @@ TEST(Lint, DroppedFaninFiresArityMismatch) {
 TEST(Lint, OutOfRangeFaninFiresInvalidFanin) {
   auto nl = good_netlist();
   for (NodeId id : nl.all_nodes()) {
-    auto& n = nl.node(id);
-    if (n.type == NodeType::kComb && !n.fanins.empty()) {
-      n.fanins[0] = NodeId(nl.num_nodes() + 100);
+    const auto& n = nl.node(id);
+    if (n.type == NodeType::kComb && n.num_fanins() > 0) {
+      nl.set_fanin(id, 0, NodeId(nl.num_nodes() + 100));
       break;
     }
   }
@@ -91,9 +93,9 @@ TEST(Lint, ReadingAPrimaryOutputFiresOutputRead) {
   auto nl = good_netlist();
   ASSERT_FALSE(nl.outputs().empty());
   for (NodeId id : nl.all_nodes()) {
-    auto& n = nl.node(id);
-    if (n.type == NodeType::kComb && !n.fanins.empty()) {
-      n.fanins[0] = nl.outputs().front();
+    const auto& n = nl.node(id);
+    if (n.type == NodeType::kComb && n.num_fanins() > 0) {
+      nl.set_fanin(id, 0, nl.outputs().front());
       break;
     }
   }
@@ -105,13 +107,13 @@ TEST(Lint, BackEdgeFiresCombCycle) {
   // Point an early comb node at a later one: a purely combinational loop.
   NodeId early, late;
   for (NodeId id : nl.all_nodes()) {
-    if (nl.node(id).type != NodeType::kComb || nl.node(id).fanins.empty()) continue;
+    if (nl.node(id).type != NodeType::kComb || nl.node(id).num_fanins() == 0) continue;
     if (!early.valid()) early = id;
     late = id;
   }
   ASSERT_TRUE(early.valid() && late.valid() && early != late);
-  nl.node(early).fanins[0] = late;
-  nl.node(late).fanins[0] = early;
+  nl.set_fanin(early, 0, late);
+  nl.set_fanin(late, 0, early);
   expect_fired(lint(nl), "lint.comb-cycle");
 }
 
@@ -124,7 +126,7 @@ TEST(Lint, UnconnectedDffFiresUndrivenDff) {
 TEST(Lint, FaninOnAnInputFiresIoBoundary) {
   auto nl = good_netlist();
   ASSERT_FALSE(nl.inputs().empty());
-  nl.node(nl.inputs().front()).fanins.push_back(nl.inputs().front());
+  nl.replace_fanins(nl.inputs().front(), {{nl.inputs().front()}});
   expect_fired(lint(nl), "lint.io-boundary");
 }
 
@@ -202,7 +204,7 @@ TEST(StageChecks, SwappedTruthTableFiresCellFunctionMismatch) {
   bool corrupted = false;
   for (NodeId id : s.mapped.all_nodes()) {
     auto& n = s.mapped.node(id);
-    if (n.type == NodeType::kComb && n.cell == CellKind::kNd3wi && n.fanins.size() == 3) {
+    if (n.type == NodeType::kComb && n.cell == CellKind::kNd3wi && n.num_fanins() == 3) {
       n.func = logic::tt3::xor3();
       corrupted = true;
       break;
@@ -425,7 +427,7 @@ TEST(Equiv, ComplementedNodeFiresOutputDiverges) {
   auto revised = golden;
   for (NodeId id : revised.all_nodes()) {
     auto& n = revised.node(id);
-    if (n.type == NodeType::kComb && n.fanins.size() >= 2) {
+    if (n.type == NodeType::kComb && n.num_fanins() >= 2) {
       n.func = ~n.func;  // structurally legal, functionally wrong
       break;
     }
