@@ -191,6 +191,9 @@ int main(int argc, char** argv) {
   opts.trace = true;
   opts.metrics = true;
   opts.memtrack = true;
+  // Exact equivalence at every stage boundary: the profile doubles as the
+  // regression baseline for the sat.*/cec.* counters.
+  opts.verify_level = verify::VerifyLevel::kExact;
   const auto suite = benchharness::run_suite(opts);
 
   int missing = 0;

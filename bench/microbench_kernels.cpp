@@ -18,6 +18,7 @@
 #include "synth/cuts.hpp"
 #include "synth/mapper.hpp"
 #include "timing/sta.hpp"
+#include "verify/cec.hpp"
 
 namespace {
 
@@ -67,6 +68,25 @@ BENCHMARK(BM_Compact)->Arg(8)->Arg(32);
 //   1: brute force (768 NPN images per query, the reference path)
 // CI asserts the lookup beats brute force by a wide machine-independent
 // ratio — a regression here means the lazy table got rebuilt per query.
+// The exact-equivalence kernel: per-output miter proofs of a tech-mapped
+// ripple adder against its golden generator netlist.
+//   0: cheap-first tier ladder as shipped (every cone retires exhaustively)
+//   1: SAT-only — the exhaustive tier is disabled, so every cone that
+//      survives hashing and small truth tables goes to the CDCL miter
+void BM_CecMiter(benchmark::State& state) {
+  const auto nl = designs::make_ripple_adder(12);
+  const auto target = synth::cell_target(core::PlbArchitecture::granular());
+  const auto mapped = synth::tech_map(nl, target, synth::Objective::kDelay);
+  verify::CecOptions opts;
+  if (state.range(0) == 1) opts.max_exhaustive_inputs = 0;
+  for (auto _ : state) {
+    verify::VerifyReport report;
+    verify::check_cec(nl, mapped.netlist, "bench", report, opts);
+    benchmark::DoNotOptimize(report.error_count());
+  }
+}
+BENCHMARK(BM_CecMiter)->Arg(0)->Arg(1);
+
 void BM_NpnCanon(benchmark::State& state) {
   const bool brute = state.range(0) == 1;
   // Touch the table once so the lookup path measures steady state, not the

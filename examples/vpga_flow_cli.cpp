@@ -35,7 +35,8 @@ void usage(const char* argv0) {
                "          [--arch granular|lut] [--arch-file file.plb] [--flow a|b]\n"
                "          [--svg layout.svg] [--save-mapped file.vnl]\n"
                "          [--save-verilog file.v] [--power]\n"
-               "          [--verify off|lint|equiv]   stage checking (docs/VERIFY.md)\n"
+               "          [--verify off|lint|equiv|exact]  stage checking (docs/VERIFY.md;\n"
+               "                                      exact = SAT-backed equivalence proof)\n"
                "          [--trace trace.json]        Chrome trace of the flow stages\n"
                "          [--metrics-json file.json]  flow counters/histograms\n"
                "                                      (docs/OBSERVABILITY.md)\n"
@@ -102,6 +103,8 @@ int main(int argc, char** argv) {
         verify_level = verify::VerifyLevel::kLint;
       } else if (level == "equiv") {
         verify_level = verify::VerifyLevel::kLintEquiv;
+      } else if (level == "exact") {
+        verify_level = verify::VerifyLevel::kExact;
       } else {
         usage(argv[0]);
         return 2;
@@ -173,7 +176,9 @@ int main(int argc, char** argv) {
               r.critical_delay_ps, r.clock_period_ps, r.avg_slack_top10_ps);
   if (verify_level != verify::VerifyLevel::kOff)
     std::printf("verification  %s: clean (%d warnings)\n",
-                verify_level == verify::VerifyLevel::kLintEquiv ? "lint+equiv" : "lint",
+                verify_level == verify::VerifyLevel::kExact        ? "exact"
+                : verify_level == verify::VerifyLevel::kLintEquiv ? "lint+equiv"
+                                                                  : "lint",
                 r.verify.warning_count());
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);

@@ -66,6 +66,7 @@ Lit Aig::build_function(const logic::TruthTable& f, std::span<const Lit> leaves)
 std::size_t Aig::count_reachable_ands() const {
   std::vector<char> seen(nodes_.size(), 0);
   std::vector<std::uint32_t> stack;
+  stack.reserve(nodes_.size());
   for (Lit o : outputs_) stack.push_back(node_of(o));
   std::size_t count = 0;
   while (!stack.empty()) {

@@ -60,6 +60,7 @@ BalanceResult balance(const Aig& g) {
     collect_leaves(g, refs, g.node(n).fanin1, leaves);
     // Map leaves into b and combine shallow-first (Huffman on level).
     std::vector<std::pair<int, Lit>> heap;
+    heap.reserve(leaves.size());
     const auto levels_b = b.levels();
     for (Lit l : leaves) {
       const Lit m = remap[node_of(l)] ^ (l & 1u);

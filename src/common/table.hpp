@@ -40,9 +40,10 @@ class TextTable {
     widen(headers_);
     for (const auto& r : rows_) widen(r);
 
+    const std::string empty_cell;
     auto emit = [&](const std::vector<std::string>& r) {
       for (std::size_t c = 0; c < ncols; ++c) {
-        const std::string cell = c < r.size() ? r[c] : std::string{};
+        const std::string& cell = c < r.size() ? r[c] : empty_cell;
         os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cell;
       }
       os << '\n';

@@ -93,6 +93,7 @@ std::vector<std::vector<ConfigKind>> maximal_packings(
   std::set<std::vector<ConfigKind>> all;
   // DFS over multisets (non-decreasing kind order avoids permutations).
   std::vector<ConfigKind> cur;
+  cur.reserve(comb_configs.size());
   auto dfs = [&](auto&& self, std::size_t start) -> void {
     bool extended = false;
     for (std::size_t i = start; i < comb_configs.size(); ++i) {
@@ -118,6 +119,7 @@ std::vector<std::vector<ConfigKind>> maximal_packings(
     return true;
   };
   std::vector<std::vector<ConfigKind>> maximal;
+  maximal.reserve(out.size());
   for (const auto& a : out) {
     bool dominated = false;
     for (const auto& b : out)

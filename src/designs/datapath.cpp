@@ -192,6 +192,7 @@ NodeId reduce(Netlist& nl, const Bus& a, NodeId (Netlist::*op)(NodeId, NodeId)) 
   std::vector<NodeId> level = a;
   while (level.size() > 1) {
     std::vector<NodeId> next;
+    next.reserve(level.size() / 2 + 1);
     for (std::size_t i = 0; i + 1 < level.size(); i += 2)
       next.push_back((nl.*op)(level[i], level[i + 1]));
     if (level.size() % 2) next.push_back(level.back());
@@ -230,10 +231,11 @@ Bus crc_step(Netlist& nl, const Bus& crc, const Bus& data, std::uint64_t polynom
     std::uint64_t data;
   };
   std::vector<Masks> m(w);
+  std::vector<Masks> next;
   for (std::size_t i = 0; i < w; ++i) m[i] = {std::uint64_t{1} << i, 0};
   for (std::size_t k = 0; k < data.size(); ++k) {
     const Masks feedback = {m[w - 1].state, m[w - 1].data | (std::uint64_t{1} << k)};
-    std::vector<Masks> next(w);
+    next.assign(w, Masks{});
     next[0] = feedback;
     for (std::size_t i = 1; i < w; ++i) {
       next[i] = m[i - 1];
@@ -242,7 +244,7 @@ Bus crc_step(Netlist& nl, const Bus& crc, const Bus& data, std::uint64_t polynom
         next[i].data ^= feedback.data;
       }
     }
-    m = std::move(next);
+    m.swap(next);
   }
   Bus out(w);
   for (std::size_t i = 0; i < w; ++i) {

@@ -26,9 +26,9 @@ Bus array_multiply(Netlist& nl, const Bus& x, const Bus& y) {
   // round, so carries enter the next round and total depth stays logarithmic
   // (this is what distinguishes a Wallace tree from a ripple array).
   bool reduced = true;
+  std::vector<std::vector<NodeId>> next(column.size());
   while (reduced) {
     reduced = false;
-    std::vector<std::vector<NodeId>> next(column.size());
     for (std::size_t c = 0; c < column.size(); ++c) {
       std::size_t i = 0;
       while (column[c].size() - i >= 3) {
@@ -42,7 +42,8 @@ Bus array_multiply(Netlist& nl, const Bus& x, const Bus& y) {
       }
       for (; i < column[c].size(); ++i) next[c].push_back(column[c][i]);
     }
-    column = std::move(next);
+    column.swap(next);
+    for (auto& col : next) col.clear();
   }
   // Final carry-propagate addition of the two remaining rows (2w bits).
   Bus row0, row1;
@@ -68,8 +69,9 @@ BenchmarkDesign make_fpu(int exp_bits, int mant_bits, int lanes) {
   const int sig = mant_bits + 1;  // significand with hidden bit
 
   // SIMD lanes: identical independent pipelines (lane 0 keeps bare pin names).
+  std::string pfx;
   for (int lane = 0; lane < lanes; ++lane) {
-  const std::string pfx = lane == 0 ? "" : "l" + std::to_string(lane) + "_";
+  pfx = lane == 0 ? "" : "l" + std::to_string(lane) + "_";
 
   // Packed operands: sign, exponent, mantissa; plus the operation select.
   const NodeId xs = nl.add_dff(nl.add_input(pfx + "x_sign"));

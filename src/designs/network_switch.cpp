@@ -39,8 +39,9 @@ BenchmarkDesign make_network_switch(int ports, int width) {
   std::vector<Bus> port_dest(static_cast<std::size_t>(ports));
   std::vector<NodeId> port_valid(static_cast<std::size_t>(ports));
 
+  std::string pn;
   for (int p = 0; p < ports; ++p) {
-    const std::string pn = "p" + std::to_string(p) + "_";
+    pn = "p" + std::to_string(p) + "_";
     const Bus data = register_bus(nl, input_bus(nl, pn + "data", width));
     const Bus dest = register_bus(nl, input_bus(nl, pn + "dest", log_p));
     const NodeId valid = nl.add_dff(nl.add_input(pn + "valid"));
@@ -63,6 +64,7 @@ BenchmarkDesign make_network_switch(int ports, int width) {
 
   // --- request matrix and per-output arbitration ------------------------------
   // request[o][p] = port p wants output o.
+  std::string on;
   for (int o = 0; o < ports; ++o) {
     Bus requests;
     requests.reserve(static_cast<std::size_t>(ports));
@@ -98,7 +100,7 @@ BenchmarkDesign make_network_switch(int ports, int width) {
     const Bus out_word = mux_tree(nl, sel, port_data);
     // Egress CRC regeneration over the switched word.
     const Bus egress_crc = crc_step(nl, Bus(32, ground(nl)), out_word, kCrc32Poly);
-    const std::string on = "out" + std::to_string(o) + "_";
+    on = "out" + std::to_string(o) + "_";
     output_bus(nl, on + "data", register_bus(nl, out_word));
     output_bus(nl, on + "crc", register_bus(nl, egress_crc));
     nl.add_output(nl.add_dff(reduce_or(nl, grant)), on + "valid");

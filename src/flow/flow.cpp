@@ -33,6 +33,7 @@ FlowReport run_flow_impl(const designs::BenchmarkDesign& design,
   verify::VerifyOptions vopts;
   vopts.level = opts.verify_level;
   vopts.equiv.seed = opts.seed;
+  vopts.cec = opts.cec;
   verify::FlowVerifier verifier(arch, vopts);
   const netlist::Netlist& golden = design.netlist;
   {

@@ -35,9 +35,13 @@ struct FlowOptions {
   double asic_utilization = 0.85;
   /// Stage-boundary verification (docs/VERIFY.md). Every stage of either
   /// flow is bracketed by checker calls; the flow aborts on error-severity
-  /// findings. kLintEquiv additionally proves each stage equivalent to the
-  /// input design on random stimulus.
+  /// findings. kLintEquiv additionally checks each stage against the input
+  /// design on random stimulus; kExact proves equivalence with the SAT-backed
+  /// miter checker (src/verify/cec.hpp), tuned by `cec`.
   verify::VerifyLevel verify_level = verify::VerifyLevel::kLint;
+  /// Exact-equivalence knobs (tier ceilings, SAT conflict budget); only read
+  /// at verify_level kExact.
+  verify::CecOptions cec;
   /// Record a nested span tree of the run (docs/OBSERVABILITY.md); exported
   /// from FlowReport::obs as Chrome trace-event JSON. Off = zero overhead.
   bool trace = false;

@@ -1,0 +1,116 @@
+#include "netlist/cone.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace vpga::netlist {
+
+namespace {
+
+/// Position of `id` in an ascending NodeId vector (inputs()/dffs() are in
+/// creation order, so binary search applies).
+std::uint32_t index_in(const std::vector<NodeId>& ids, NodeId id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id,
+                                   [](NodeId a, NodeId b) { return a.index() < b.index(); });
+  VPGA_ASSERT(it != ids.end() && *it == id);
+  return static_cast<std::uint32_t>(it - ids.begin());
+}
+
+}  // namespace
+
+ConeSupport cone_support(const Netlist& nl, NodeId root) {
+  ConeSupport s;
+  std::vector<std::uint8_t> visited(nl.num_nodes(), 0);
+  std::vector<NodeId> stack;
+  stack.reserve(64);
+  stack.push_back(root);
+  visited[root.index()] = 1;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Node& n = nl.node(id);
+    switch (n.type) {
+      case NodeType::kInput:
+        s.inputs.push_back(index_in(nl.inputs(), id));
+        break;
+      case NodeType::kDff:
+        s.states.push_back(index_in(nl.dffs(), id));
+        break;
+      case NodeType::kConst:
+        break;
+      case NodeType::kComb: {
+        ++s.comb_nodes;
+        for (const NodeId fi : nl.fanins(id)) {
+          if (visited[fi.index()] == 0) {
+            visited[fi.index()] = 1;
+            stack.push_back(fi);
+          }
+        }
+        break;
+      }
+      case NodeType::kOutput:
+        VPGA_ASSERT(false && "cone traversal must start below the output shell");
+        break;
+    }
+  }
+  std::sort(s.inputs.begin(), s.inputs.end());
+  std::sort(s.states.begin(), s.states.end());
+  return s;
+}
+
+Netlist extract_cone(const Netlist& nl, NodeId root, const ConeSupport& support) {
+  Netlist out(nl.name() + ".cone");
+  std::vector<NodeId> copied(nl.num_nodes());  // default: invalid
+  // The extract's primary inputs are the support, inputs first then states,
+  // both ascending — the shared variable order both sides of a miter use.
+  for (const std::uint32_t idx : support.inputs) {
+    const NodeId orig = nl.inputs()[idx];
+    copied[orig.index()] = out.add_input(nl.name_of(orig));
+  }
+  for (const std::uint32_t idx : support.states) {
+    const NodeId orig = nl.dffs()[idx];
+    copied[orig.index()] = out.add_input(nl.name_of(orig));
+  }
+
+  std::vector<NodeId> stack;
+  stack.reserve(64);
+  std::vector<NodeId> fanin_buf;
+  fanin_buf.reserve(8);
+  stack.push_back(root);
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    if (copied[id.index()].valid()) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = nl.node(id);
+    if (n.type == NodeType::kConst) {
+      copied[id.index()] = out.add_constant(n.func.eval(0));
+      stack.pop_back();
+      continue;
+    }
+    VPGA_ASSERT(n.type == NodeType::kComb && "cone leaf missing from the given support");
+    bool ready = true;
+    for (const NodeId fi : nl.fanins(id)) {
+      if (!copied[fi.index()].valid()) {
+        const Node& fn = nl.node(fi);
+        if (fn.type == NodeType::kConst) {
+          copied[fi.index()] = out.add_constant(fn.func.eval(0));
+        } else {
+          stack.push_back(fi);
+          ready = false;
+        }
+      }
+    }
+    if (!ready) continue;
+    fanin_buf.clear();
+    for (const NodeId fi : nl.fanins(id)) fanin_buf.push_back(copied[fi.index()]);
+    copied[id.index()] = out.add_comb(n.func, fanin_buf, nl.name_of(id));
+    stack.pop_back();
+  }
+  out.add_output(copied[root.index()], "cone_out");
+  return out;
+}
+
+}  // namespace vpga::netlist

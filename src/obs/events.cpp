@@ -99,6 +99,7 @@ void collect_ring(const Ring& r, std::vector<FlightEvent>& out) {
   const std::uint64_t n = r.count.load(std::memory_order_acquire);
   const std::uint64_t kept =
       n < static_cast<std::uint64_t>(kRingCapacity) ? n : kRingCapacity;
+  out.reserve(out.size() + kept);
   for (std::uint64_t i = n - kept; i < n; ++i)
     out.push_back(r.slots[i % kRingCapacity]);
 }
@@ -300,6 +301,7 @@ std::uint64_t dropped() { return g_dropped.load(std::memory_order_relaxed); }
 
 std::vector<FlightEvent> snapshot() {
   std::vector<FlightEvent> out;
+  out.reserve(kMaxPinnedSeeds);
   for (const PinnedSeed& p : g_pinned)
     if (p.set.load(std::memory_order_acquire)) out.push_back(p.event);
   for (const Ring& r : g_rings) collect_ring(r, out);

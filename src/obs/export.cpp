@@ -29,18 +29,19 @@ std::string om_value(double v) {
 
 std::string openmetrics_text(const ObsReport& report) {
   std::string out;
+  std::string n;
   for (const auto& [name, value] : report.counters) {
-    const std::string n = om_name(name);
+    n = om_name(name);
     out += "# TYPE " + n + " counter\n";
     out += n + "_total " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : report.gauges) {
-    const std::string n = om_name(name);
+    n = om_name(name);
     out += "# TYPE " + n + " gauge\n";
     out += n + " " + om_value(value) + "\n";
   }
   for (const auto& [name, h] : report.histograms) {
-    const std::string n = om_name(name);
+    n = om_name(name);
     out += "# TYPE " + n + " histogram\n";
     long long cumulative = 0;
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {

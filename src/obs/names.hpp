@@ -19,14 +19,14 @@
 namespace vpga::obs::names {
 
 /// Trace span names (one per obs::Span call site family).
-inline constexpr std::array<std::string_view, 20> kSpanNames = {
+inline constexpr std::array<std::string_view, 21> kSpanNames = {
     "stage.verify",  "stage.map",   "stage.compact", "stage.buffer",
     "stage.place",   "stage.pack",  "stage.route",   "stage.sta",
     "map.tech_map",  "compact.pricing_round",
     "pack.attempt",  "pack.quadrisect", "pack.fill",
     "place.median_sweeps", "place.anneal",
     "route.decompose", "route.initial", "route.negotiate", "route.maze_repair",
-    "sta.analyze",
+    "sta.analyze",   "verify.cec",
 };
 
 /// Counter / gauge / histogram names (obs::count, obs::gauge, obs::observe).
@@ -35,7 +35,7 @@ inline constexpr std::array<std::string_view, 20> kSpanNames = {
 /// exposes them; `flow.alloc_*` are the run-wide memtrack totals (per-span
 /// totals are the dynamic "<span>.alloc_bytes" family, exempt by
 /// construction like every concatenated name).
-inline constexpr std::array<std::string_view, 31> kMetricNames = {
+inline constexpr std::array<std::string_view, 45> kMetricNames = {
     "map.cuts_enumerated", "map.match_attempts", "map.dp_rounds", "map.nodes_emitted",
     "compact.cover_rounds",
     "pack.groups", "pack.grow_attempts", "pack.spiral_relocations", "pack.displacement_um",
@@ -48,6 +48,10 @@ inline constexpr std::array<std::string_view, 31> kMetricNames = {
     "sta.analyses", "sta.arrival_propagations",
     "verify.checks", "verify.findings", "verify.errors", "verify.equiv.vectors",
     "verify.via_budget.overruns",
+    "cec.points", "cec.tier_struct", "cec.tier_table", "cec.tier_exhaustive",
+    "cec.tier_sat", "cec.npn_rejects", "cec.sweep_merges", "cec.unknown",
+    "cec.cache_hits",
+    "sat.conflicts", "sat.decisions", "sat.propagations", "sat.restarts", "sat.learned",
 };
 
 /// Flight-recorder event names (obs::flight_event call sites; the structured

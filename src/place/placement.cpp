@@ -51,6 +51,7 @@ Placement place(const Netlist& nl, const PlacerOptions& opts, const library::Cel
   // Collect placeable nodes in creation order (generators construct buses in
   // spatial order, so this seeds good locality).
   std::vector<NodeId> cells;
+  cells.reserve(nl.num_nodes());
   for (NodeId id : nl.all_nodes())
     if (is_placeable(nl, id)) cells.push_back(id);
 
@@ -80,6 +81,7 @@ Placement place(const Netlist& nl, const PlacerOptions& opts, const library::Cel
   // Force-directed median sweeps: each cell moves to the mean of its
   // neighbors, then a per-row spreading pass removes pile-ups.
   std::optional<obs::Span> sweep_span(std::in_place, "place.median_sweeps");
+  std::vector<NodeId> order;  // per-sweep sort scratch, hoisted
   for (int sweep = 0; sweep < opts.median_sweeps; ++sweep) {
     obs::count("place.median_sweeps");
     for (NodeId id : cells) {
@@ -94,7 +96,7 @@ Placement place(const Netlist& nl, const PlacerOptions& opts, const library::Cel
                            sy / static_cast<double>(nbrs.size())};
     }
     // Spreading: sort by y into rows, then by x within a row, and re-grid.
-    std::vector<NodeId> order = cells;
+    order.assign(cells.begin(), cells.end());
     std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
       return p.pos[a.index()].y < p.pos[b.index()].y;
     });

@@ -161,17 +161,28 @@ RoutingResult route(const Netlist& nl, const place::Placement& placed, double ti
       if (fi.valid()) sinks[fi.index()].push_back(id.value());
   }
   std::vector<TwoPin> pins;
+  std::size_t total_sinks = 0;
+  for (const auto& net : sinks) total_sinks += net.size();
+  pins.reserve(total_sinks);  // one two-pin connection per MST edge
+  // Per-net Prim scratch, hoisted out of the net loop and sized for the
+  // largest terminal set up front.
+  std::size_t max_terms = 0;
+  for (const auto& net : sinks) max_terms = std::max(max_terms, net.size() + 1);
+  std::vector<std::pair<int, int>> pts;
+  pts.reserve(max_terms);
+  std::vector<char> in_tree;
+  std::vector<int> best_dist, best_from;
   for (NodeId id : nl.all_nodes()) {
     const auto& net = sinks[id.index()];
     if (net.empty()) continue;
     // Terminal grid coordinates: driver first.
-    std::vector<std::pair<int, int>> pts;
-    pts.reserve(net.size() + 1);
+    pts.clear();
     pts.emplace_back(gx(placed.pos[id.index()].x), gy(placed.pos[id.index()].y));
     for (auto s : net) pts.emplace_back(gx(placed.pos[s].x), gy(placed.pos[s].y));
     // Prim's MST from the driver.
-    std::vector<char> in_tree(pts.size(), 0);
-    std::vector<int> best_dist(pts.size(), 1 << 29), best_from(pts.size(), 0);
+    in_tree.assign(pts.size(), 0);
+    best_dist.assign(pts.size(), 1 << 29);
+    best_from.assign(pts.size(), 0);
     in_tree[0] = 1;
     for (std::size_t k = 0; k < pts.size(); ++k) {
       if (!in_tree[k]) {

@@ -105,6 +105,7 @@ TimingReport analyze(const Netlist& nl, const place::Placement& placed,
   // Endpoint slacks: POs and DFF D pins.
   TimingReport rep;
   std::vector<EndpointSlack> endpoints;
+  endpoints.reserve(nl.outputs().size() + nl.dffs().size());
   for (NodeId id : nl.outputs())
     endpoints.push_back({id, T - arrival[id.index()]});
   for (NodeId ff : nl.dffs()) {

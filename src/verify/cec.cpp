@@ -1,0 +1,547 @@
+#include "verify/cec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/fnmap.hpp"
+#include "common/rng.hpp"
+#include "logic/npn.hpp"
+#include "netlist/bitsim.hpp"
+#include "netlist/cone.hpp"
+#include "obs/obs.hpp"
+#include "sat/cnf.hpp"
+
+namespace vpga::verify {
+namespace {
+
+using netlist::BitSimulator;
+using netlist::ConeSupport;
+using netlist::Netlist;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeType;
+
+/// 64-pattern word with bit t = (t >> i) & 1 — the i-th exhaustive lane.
+std::uint64_t lane_word(int i) {
+  std::uint64_t w = 0;
+  for (int t = 0; t < 64; ++t) {
+    if (((t >> i) & 1) != 0) w |= std::uint64_t{1} << t;
+  }
+  return w;
+}
+
+/// Collapses a cone extract (pure combinational, <= 6 inputs, one output)
+/// into a single truth table over its input order.
+logic::TruthTable cone_table(const Netlist& cone, int num_vars,
+                             std::vector<logic::TruthTable>& tts,
+                             std::vector<logic::TruthTable>& args) {
+  tts.assign(cone.num_nodes(), logic::TruthTable());
+  args.reserve(6);  // netlist gate arity ceiling
+  for (std::size_t j = 0; j < cone.inputs().size(); ++j) {
+    tts[cone.inputs()[j].index()] = logic::TruthTable::var(num_vars, static_cast<int>(j));
+  }
+  for (const NodeId id : cone.all_nodes()) {
+    const Node& n = cone.node(id);
+    if (n.type == NodeType::kConst) {
+      tts[id.index()] = logic::TruthTable::constant(num_vars, n.func.eval(0));
+    }
+  }
+  for (const NodeId id : cone.topo_order()) {
+    const Node& n = cone.node(id);
+    if (n.type != NodeType::kComb) continue;
+    args.clear();
+    for (const NodeId fi : cone.fanins(id)) args.push_back(tts[fi.index()]);
+    tts[id.index()] = logic::compose(n.func, args);
+  }
+  return tts[cone.fanin(cone.outputs()[0], 0).index()];
+}
+
+/// One stage boundary's worth of point checks: structural signatures, the
+/// lazily-built miter solver, and all loop scratch live here so the per-point
+/// path never allocates beyond genuine growth.
+class PointChecker {
+ public:
+  PointChecker(const Netlist& golden, const Netlist& revised, const CecOptions& opts,
+               CecReport& report)
+      : golden_(golden), revised_(revised), opts_(opts), report_(report) {
+    for (int i = 0; i < 6; ++i) lanes_[i] = lane_word(i);
+    if (opts_.structural_tier) {
+      side_signatures(golden_, sig_[0]);
+      side_signatures(revised_, sig_[1]);
+    }
+  }
+
+  /// Checks output `idx` (is_state == false) or DFF D-function `idx`
+  /// (is_state == true). Returns false when a counterexample stopped the scan.
+  bool check_point(std::size_t idx, bool is_state) {
+    ++report_.checks;
+    const NodeId ga = is_state ? golden_.fanin(golden_.dffs()[idx], 0)
+                               : golden_.fanin(golden_.outputs()[idx], 0);
+    const NodeId rb = is_state ? revised_.fanin(revised_.dffs()[idx], 0)
+                               : revised_.fanin(revised_.outputs()[idx], 0);
+
+    if (opts_.structural_tier && sig_[0][ga.index()] == sig_[1][rb.index()]) {
+      ++report_.tier_struct;
+      return true;
+    }
+
+    const ConeSupport sup_a = cone_support(golden_, ga);
+    const ConeSupport sup_b = cone_support(revised_, rb);
+    merged_.inputs.clear();
+    merged_.states.clear();
+    std::set_union(sup_a.inputs.begin(), sup_a.inputs.end(), sup_b.inputs.begin(),
+                   sup_b.inputs.end(), std::back_inserter(merged_.inputs));
+    std::set_union(sup_a.states.begin(), sup_a.states.end(), sup_b.states.begin(),
+                   sup_b.states.end(), std::back_inserter(merged_.states));
+    const int m = static_cast<int>(merged_.num_leaves());
+
+    if (m <= logic::TruthTable::kMaxVars) return check_by_table(idx, is_state, ga, rb, m);
+    if (m <= opts_.max_exhaustive_inputs) return check_by_sweep(idx, is_state, ga, rb, m);
+    return check_by_sat(idx, is_state, ga, rb);
+  }
+
+  void finish() {
+    if (solver_) report_.sat_stats = solver_->stats();
+    if (encoder_) report_.hashcons_hits = encoder_->hashcons_hits();
+  }
+
+ private:
+  /// Tier 2: collapse both cones over the merged support and compare tables,
+  /// with the NPN canonical table as the <= 4-var inequivalence pre-filter.
+  bool check_by_table(std::size_t idx, bool is_state, NodeId ga, NodeId rb, int m) {
+    const Netlist ca = extract_cone(golden_, ga, merged_);
+    const Netlist cb = extract_cone(revised_, rb, merged_);
+    const logic::TruthTable ta = cone_table(ca, m, tts_, args_);
+    const logic::TruthTable tb = cone_table(cb, m, tts_, args_);
+    bool npn_reject = false;
+    if (m <= 4) {
+      const auto a4 = static_cast<std::uint16_t>(ta.extend(4).bits());
+      const auto b4 = static_cast<std::uint16_t>(tb.extend(4).bits());
+      npn_reject = logic::npn_canonical4(a4) != logic::npn_canonical4(b4);
+      if (npn_reject) ++report_.npn_rejects;
+    }
+    if (!npn_reject && ta == tb) {
+      ++report_.tier_table;
+      return true;
+    }
+    // Inequivalent: the first differing row is the counterexample.
+    unsigned row = 0;
+    while (ta.eval(row) == tb.eval(row)) ++row;
+    ++report_.tier_table;
+    record_cex_from_row(idx, is_state, row, 0);
+    return false;
+  }
+
+  /// Tier 3: exhaustive 64-way sweep over the merged support (7..16 leaves).
+  bool check_by_sweep(std::size_t idx, bool is_state, NodeId ga, NodeId rb, int m) {
+    VPGA_ASSERT(m > 6 && m <= 16);
+    const Netlist ca = extract_cone(golden_, ga, merged_);
+    const Netlist cb = extract_cone(revised_, rb, merged_);
+    BitSimulator sa(ca);
+    BitSimulator sb(cb);
+    for (int i = 0; i < 6; ++i) {
+      sa.set_input(static_cast<std::size_t>(i), lanes_[i]);
+      sb.set_input(static_cast<std::size_t>(i), lanes_[i]);
+    }
+    const std::uint32_t blocks = std::uint32_t{1} << (m - 6);
+    for (std::uint32_t block = 0; block < blocks; ++block) {
+      for (int i = 6; i < m; ++i) {
+        const std::uint64_t w = ((block >> (i - 6)) & 1u) != 0 ? ~std::uint64_t{0} : 0;
+        sa.set_input(static_cast<std::size_t>(i), w);
+        sb.set_input(static_cast<std::size_t>(i), w);
+      }
+      sa.eval();
+      sb.eval();
+      const std::uint64_t diff = sa.output(0) ^ sb.output(0);
+      if (diff != 0) {
+        ++report_.tier_exhaustive;
+        record_cex_from_row(idx, is_state,
+                            static_cast<unsigned>(std::countr_zero(diff)), block);
+        return false;
+      }
+    }
+    ++report_.tier_exhaustive;
+    return true;
+  }
+
+  /// Tier 4: per-point miter under a selector assumption on the shared
+  /// incremental solver.
+  bool check_by_sat(std::size_t idx, bool is_state, NodeId ga, NodeId rb) {
+    if (!solver_) {
+      solver_ = std::make_unique<sat::Solver>();
+      encoder_ = std::make_unique<sat::MiterEncoder>(golden_, revised_, *solver_);
+      if (opts_.sat_sweep) sat_sweep();
+    }
+    const sat::Lit la = encoder_->encode(sat::MiterEncoder::Side::kGolden, ga);
+    const sat::Lit lb = encoder_->encode(sat::MiterEncoder::Side::kRevised, rb);
+    if (la == lb) {
+      // Structural hashing inside the encoder already merged the two cones.
+      ++report_.tier_struct;
+      return true;
+    }
+    const sat::Lit sel(solver_->new_var(), false);
+    solver_->add_clause({~sel, la, lb});
+    solver_->add_clause({~sel, ~la, ~lb});
+    const sat::Lit assumption[1] = {sel};
+    const sat::Result res =
+        solver_->solve(std::span<const sat::Lit>(assumption, 1), opts_.sat_conflict_budget);
+    if (res == sat::Result::kUnsat) {
+      ++report_.tier_sat;
+      solver_->add_clause({~sel});  // retire this point's miter
+      return true;
+    }
+    if (res == sat::Result::kUnknown) {
+      ++report_.unknown;
+      report_.unknown_points.push_back(point_name(idx, is_state));
+      solver_->add_clause({~sel});
+      return true;
+    }
+    ++report_.tier_sat;
+    CecCounterexample cex;
+    cex.inputs.assign(golden_.inputs().size(), 0);
+    cex.state.assign(golden_.dffs().size(), 0);
+    for (std::size_t i = 0; i < encoder_->num_inputs(); ++i) {
+      cex.inputs[i] = solver_->model_value(encoder_->input_lit(i).var()) ? 1 : 0;
+    }
+    for (std::size_t d = 0; d < encoder_->num_states(); ++d) {
+      cex.state[d] = solver_->model_value(encoder_->state_lit(d).var()) ? 1 : 0;
+    }
+    verify_and_store(idx, is_state, std::move(cex));
+    return false;
+  }
+
+  static constexpr int kSweepWords = 4;          ///< 256 shared stimulus patterns
+  static constexpr long long kSweepBudget = 100;  ///< conflicts per candidate proof
+
+  /// SAT sweeping: simulate both netlists on the same deterministic stimulus,
+  /// register every golden comb node under its 256-pattern signature
+  /// (complement-canonical), then walk the revised netlist bottom-up proving
+  /// each signature match with a small miter. A proven match rebinds the
+  /// revised node to the golden literal, so the eventual output miters are
+  /// between largely-merged cones — the difference between multiplier CEC
+  /// finishing in milliseconds and not finishing at all.
+  void sat_sweep() {
+    common::Rng rng(0xCEC5EEDull);  // fixed seed: sweep results are byte-stable
+    const std::size_t width = golden_.inputs().size() + golden_.dffs().size();
+    stimulus_.resize(width * static_cast<std::size_t>(kSweepWords));
+    for (auto& w : stimulus_) w = rng.next_u64();
+    sim_signatures(golden_, sweep_sig_[0]);
+    sim_signatures(revised_, sweep_sig_[1]);
+    for (const NodeId id : golden_.topo_order()) {
+      if (golden_.node(id).type != NodeType::kComb) continue;
+      const sat::Lit lit = encoder_->encode(sat::MiterEncoder::Side::kGolden, id);
+      sweep_node(0, id, lit);
+    }
+    for (const NodeId id : revised_.topo_order()) {
+      if (revised_.node(id).type != NodeType::kComb) continue;
+      const sat::Lit lit = encoder_->encode(sat::MiterEncoder::Side::kRevised, id);
+      sweep_node(1, id, lit);
+    }
+  }
+
+  /// Evaluates kSweepWords shared stimulus words through `nl`, storing every
+  /// node's response words contiguously in `sig`.
+  void sim_signatures(const Netlist& nl, std::vector<std::uint64_t>& sig) {
+    sig.assign(nl.num_nodes() * static_cast<std::size_t>(kSweepWords), 0);
+    BitSimulator sim(nl);
+    const std::size_t ni = nl.inputs().size();
+    for (int w = 0; w < kSweepWords; ++w) {
+      const std::uint64_t* words = stimulus_.data() +
+                                   static_cast<std::size_t>(w) * (ni + nl.dffs().size());
+      for (std::size_t i = 0; i < ni; ++i) sim.set_input(i, words[i]);
+      for (std::size_t d = 0; d < nl.dffs().size(); ++d) sim.set_state(d, words[ni + d]);
+      sim.eval();
+      for (const NodeId id : nl.all_nodes()) {
+        sig[id.index() * static_cast<std::size_t>(kSweepWords) + static_cast<std::size_t>(w)] =
+            sim.value(id);
+      }
+    }
+  }
+
+  /// Registers node `id` (literal `lit`) under its canonical signature, or —
+  /// for the revised side — proves it equal to the registered representative
+  /// and rebinds it. Registration keys carry the full 256-bit signature, so
+  /// only genuinely signature-equal nodes ever meet.
+  void sweep_node(int side, NodeId id, sat::Lit lit) {
+    const std::uint64_t* sig =
+        sweep_sig_[side].data() + id.index() * static_cast<std::size_t>(kSweepWords);
+    const bool phase = (sig[0] & 1u) != 0;  // complement-canonical form
+    const std::uint64_t w0 = phase ? ~sig[0] : sig[0];
+    const std::uint64_t w1 = phase ? ~sig[1] : sig[1];
+    const std::uint64_t w2 = phase ? ~sig[2] : sig[2];
+    const std::uint64_t w3 = phase ? ~sig[3] : sig[3];
+    common::FnKey key;
+    key.tag = 5;
+    key.bits = w0;
+    key.kids[0] = static_cast<std::uint32_t>(w1);
+    key.kids[1] = static_cast<std::uint32_t>(w1 >> 32);
+    key.kids[2] = static_cast<std::uint32_t>(w2);
+    key.kids[3] = static_cast<std::uint32_t>(w2 >> 32);
+    key.kids[4] = static_cast<std::uint32_t>(w3);
+    key.kids[5] = static_cast<std::uint32_t>(w3 >> 32);
+    const sat::Lit canon = phase ? ~lit : lit;
+    const std::uint32_t found = sweepmap_.find_or_insert(key, canon.code());
+    if (found == canon.code() || side == 0) return;  // representative, or golden pass
+    const sat::Lit rep = phase ? ~sat::Lit::from_code(found) : sat::Lit::from_code(found);
+    if (rep == lit) return;  // already shared via structural hashing
+    const sat::Lit sel(solver_->new_var(), false);
+    solver_->add_clause({~sel, lit, rep});
+    solver_->add_clause({~sel, ~lit, ~rep});
+    const sat::Lit assumption[1] = {sel};
+    const sat::Result res =
+        solver_->solve(std::span<const sat::Lit>(assumption, 1), kSweepBudget);
+    solver_->add_clause({~sel});
+    if (res != sat::Result::kUnsat) return;  // candidate refuted or budget-out
+    solver_->add_clause({~lit, rep});
+    solver_->add_clause({lit, ~rep});
+    encoder_->set_lit(sat::MiterEncoder::Side::kRevised, id, rep);
+    ++report_.sweep_merges;
+  }
+
+  /// Expands a merged-support row (low 6 bits in `row`, leaves >= 6 in
+  /// `block`) into a full-interface counterexample and stores it.
+  void record_cex_from_row(std::size_t idx, bool is_state, unsigned row, std::uint32_t block) {
+    CecCounterexample cex;
+    cex.inputs.assign(golden_.inputs().size(), 0);
+    cex.state.assign(golden_.dffs().size(), 0);
+    const std::size_t ni = merged_.inputs.size();
+    for (std::size_t j = 0; j < merged_.num_leaves(); ++j) {
+      const std::uint8_t v =
+          j < 6 ? static_cast<std::uint8_t>((row >> j) & 1u)
+                : static_cast<std::uint8_t>((block >> (j - 6)) & 1u);
+      if (j < ni) {
+        cex.inputs[merged_.inputs[j]] = v;
+      } else {
+        cex.state[merged_.states[j - ni]] = v;
+      }
+    }
+    verify_and_store(idx, is_state, std::move(cex));
+  }
+
+  /// Replays the counterexample through the original netlists (broadcast
+  /// words on the 64-way simulator) and asserts it witnesses the divergence
+  /// before it is allowed into the report.
+  void verify_and_store(std::size_t idx, bool is_state, CecCounterexample cex) {
+    BitSimulator sg(golden_);
+    BitSimulator sr(revised_);
+    for (std::size_t i = 0; i < cex.inputs.size(); ++i) {
+      const std::uint64_t w = cex.inputs[i] != 0 ? ~std::uint64_t{0} : 0;
+      sg.set_input(i, w);
+      sr.set_input(i, w);
+    }
+    for (std::size_t d = 0; d < cex.state.size(); ++d) {
+      const std::uint64_t w = cex.state[d] != 0 ? ~std::uint64_t{0} : 0;
+      sg.set_state(d, w);
+      sr.set_state(d, w);
+    }
+    sg.eval();
+    sr.eval();
+    const std::uint64_t vg = is_state ? sg.next_state(idx) : sg.output(idx);
+    const std::uint64_t vr = is_state ? sr.next_state(idx) : sr.output(idx);
+    VPGA_ASSERT_MSG((vg & 1) != (vr & 1), "CEC counterexample failed simulation replay");
+    cex.point_index = idx;
+    cex.is_state = is_state;
+    cex.point = point_name(idx, is_state);
+    report_.cex = std::move(cex);
+    report_.equivalent = false;
+  }
+
+  [[nodiscard]] std::string point_name(std::size_t idx, bool is_state) const {
+    const NodeId id = is_state ? golden_.dffs()[idx] : golden_.outputs()[idx];
+    const std::string& name = golden_.name_of(id);
+    if (!name.empty()) return name;
+    return (is_state ? "dff[" : "output[") + std::to_string(idx) + "]";
+  }
+
+  /// Shared structural signatures: identical cones — across both netlists —
+  /// get identical dense ids, making tier 1 a single compare per point.
+  void side_signatures(const Netlist& nl, std::vector<std::uint32_t>& sig) {
+    sig.assign(nl.num_nodes(), 0);
+    common::FnKey key;
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      key = common::FnKey();
+      key.tag = 1;
+      key.bits = i;
+      sig[nl.inputs()[i].index()] = fresh_sig(key);
+    }
+    for (std::size_t d = 0; d < nl.dffs().size(); ++d) {
+      key = common::FnKey();
+      key.tag = 2;
+      key.bits = d;
+      sig[nl.dffs()[d].index()] = fresh_sig(key);
+    }
+    for (const NodeId id : nl.all_nodes()) {
+      if (nl.node(id).type != NodeType::kConst) continue;
+      key = common::FnKey();
+      key.tag = 3;
+      key.bits = nl.node(id).func.eval(0) ? 1 : 0;
+      sig[id.index()] = fresh_sig(key);
+    }
+    for (const NodeId id : nl.topo_order()) {
+      const Node& n = nl.node(id);
+      if (n.type != NodeType::kComb) continue;
+      key = common::FnKey();
+      key.bits = n.func.bits();
+      key.arity = static_cast<std::uint8_t>(n.num_fanins());
+      const std::span<const NodeId> fis = nl.fanins(id);
+      for (std::size_t k = 0; k < fis.size(); ++k) key.kids[k] = sig[fis[k].index()];
+      sig[id.index()] = fresh_sig(key);
+    }
+  }
+
+  std::uint32_t fresh_sig(const common::FnKey& key) {
+    return sigmap_.find_or_insert(key, static_cast<std::uint32_t>(sigmap_.size()) + 1);
+  }
+
+  const Netlist& golden_;
+  const Netlist& revised_;
+  const CecOptions& opts_;
+  CecReport& report_;
+  std::uint64_t lanes_[6] = {};
+  common::FnKeyMap sigmap_;
+  std::vector<std::uint32_t> sig_[2];
+  common::FnKeyMap sweepmap_;
+  std::vector<std::uint64_t> stimulus_;
+  std::vector<std::uint64_t> sweep_sig_[2];
+  ConeSupport merged_;
+  std::vector<logic::TruthTable> tts_;
+  std::vector<logic::TruthTable> args_;
+  std::unique_ptr<sat::Solver> solver_;
+  std::unique_ptr<sat::MiterEncoder> encoder_;
+};
+
+/// Writes the counterexample as JSON (the CI exact-gate artifact format).
+void dump_cex_json(const char* path, const Netlist& golden, const std::string& stage,
+                   const CecCounterexample& cex) {
+  std::ofstream os(path);
+  if (!os) return;
+  os << "{\n  \"design\": \"" << golden.name() << "\",\n  \"stage\": \"" << stage
+     << "\",\n  \"point\": \"" << cex.point << "\",\n  \"is_state\": "
+     << (cex.is_state ? "true" : "false") << ",\n  \"inputs\": [";
+  for (std::size_t i = 0; i < cex.inputs.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << static_cast<int>(cex.inputs[i]);
+  }
+  os << "],\n  \"state\": [";
+  for (std::size_t d = 0; d < cex.state.size(); ++d) {
+    os << (d == 0 ? "" : ", ") << static_cast<int>(cex.state[d]);
+  }
+  os << "]\n}\n";
+}
+
+/// Compact 0/1 string for diagnostics ("inputs=0110 state=01").
+std::string bits_to_string(const std::vector<std::uint8_t>& bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (const std::uint8_t b : bits) s.push_back(b != 0 ? '1' : '0');
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t netlist_fingerprint(const Netlist& nl) {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return h;
+  };
+  // Buffers (1-input identity gates) are transparent: they are skipped and
+  // fanin references resolve through them, so the fingerprint is invariant
+  // under high-fanout buffering — which inserts buffers by appending nodes,
+  // leaving every pre-existing index in place.
+  auto is_buffer = [&nl](NodeId id) {
+    const Node& n = nl.node(id);
+    return n.type == NodeType::kComb && n.num_fanins() == 1 && n.func.bits() == 2;
+  };
+  auto resolve = [&](NodeId id) {
+    while (is_buffer(id)) id = nl.fanin(id, 0);
+    return id;
+  };
+  std::uint64_t h = mix(nl.inputs().size(), nl.outputs().size());
+  h = mix(h, nl.dffs().size());
+  for (const NodeId id : nl.all_nodes()) {
+    const Node& n = nl.node(id);
+    if (is_buffer(id)) continue;
+    h = mix(h, static_cast<std::uint64_t>(n.type));
+    h = mix(h, n.func.bits());
+    for (const NodeId fi : nl.fanins(id)) h = mix(h, resolve(fi).index());
+  }
+  return h;
+}
+
+CecReport check_combinational_equivalence(const Netlist& golden, const Netlist& revised,
+                                          const CecOptions& opts) {
+  CecReport report;
+  if (golden.inputs().size() != revised.inputs().size() ||
+      golden.outputs().size() != revised.outputs().size() ||
+      golden.dffs().size() != revised.dffs().size()) {
+    report.interface_ok = false;
+    report.equivalent = false;
+    return report;
+  }
+  PointChecker checker(golden, revised, opts, report);
+  bool scanning = true;
+  for (std::size_t o = 0; scanning && o < golden.outputs().size(); ++o) {
+    scanning = checker.check_point(o, false);
+  }
+  for (std::size_t d = 0; scanning && d < golden.dffs().size(); ++d) {
+    scanning = checker.check_point(d, true);
+  }
+  checker.finish();
+  return report;
+}
+
+void check_cec(const Netlist& golden, const Netlist& revised, const std::string& stage,
+               VerifyReport& report, const CecOptions& opts) {
+  const obs::Span span("verify.cec");
+  const CecReport cec = check_combinational_equivalence(golden, revised, opts);
+
+  obs::count("cec.points", cec.checks);
+  obs::count("cec.tier_struct", cec.tier_struct);
+  obs::count("cec.tier_table", cec.tier_table);
+  obs::count("cec.tier_exhaustive", cec.tier_exhaustive);
+  obs::count("cec.tier_sat", cec.tier_sat);
+  obs::count("cec.npn_rejects", cec.npn_rejects);
+  obs::count("cec.sweep_merges", cec.sweep_merges);
+  obs::count("cec.unknown", cec.unknown);
+  obs::count("sat.conflicts", cec.sat_stats.conflicts);
+  obs::count("sat.decisions", cec.sat_stats.decisions);
+  obs::count("sat.propagations", cec.sat_stats.propagations);
+  obs::count("sat.restarts", cec.sat_stats.restarts);
+  obs::count("sat.learned", cec.sat_stats.learned_clauses);
+
+  if (!cec.interface_ok) {
+    report.add(Severity::kError, "cec.interface-mismatch", stage, NodeId(),
+               "interface differs from the equivalence baseline: inputs " +
+                   std::to_string(golden.inputs().size()) + " vs " +
+                   std::to_string(revised.inputs().size()) + ", outputs " +
+                   std::to_string(golden.outputs().size()) + " vs " +
+                   std::to_string(revised.outputs().size()) + ", dffs " +
+                   std::to_string(golden.dffs().size()) + " vs " +
+                   std::to_string(revised.dffs().size()));
+    return;
+  }
+  if (cec.cex.has_value()) {
+    const CecCounterexample& cex = *cec.cex;
+    if (const char* path = std::getenv("VPGA_CEC_CEX_PATH"); path != nullptr) {
+      dump_cex_json(path, golden, stage, cex);
+    }
+    report.add(Severity::kError,
+               cex.is_state ? "cec.state-diverges" : "cec.output-diverges", stage, NodeId(),
+               (cex.is_state ? "next-state function of '" : "output '") + cex.point +
+                   "' differs from the equivalence baseline; counterexample inputs=" +
+                   bits_to_string(cex.inputs) +
+                   (cex.state.empty() ? std::string() : " state=" + bits_to_string(cex.state)));
+  }
+  if (cec.unknown > 0) {
+    report.add(Severity::kWarning, "cec.resource-limit", stage, NodeId(),
+               std::to_string(cec.unknown) + " point(s) exhausted the SAT conflict budget (" +
+                   std::to_string(opts.sat_conflict_budget) + "), first: " +
+                   cec.unknown_points.front());
+  }
+}
+
+}  // namespace vpga::verify

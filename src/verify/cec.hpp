@@ -1,0 +1,118 @@
+#pragma once
+/// \file cec.hpp
+/// Exact combinational equivalence checking (the `verify_level = exact` gate).
+///
+/// Where the random-stimulus gate (equiv.hpp) samples, this checker proves.
+/// Each check point — a primary output's driver or a DFF's D driver — is
+/// compared between the golden and revised netlists through a tier ladder,
+/// cheapest first:
+///
+///   1. structural: shared signature hashing across both netlists; identical
+///      cones are equivalent without touching their function.
+///   2. truth table: cones whose union support fits 6 variables collapse to
+///      logic::TruthTable and compare directly, with the NPN canonical
+///      tables (<= 4 vars) as an O(1) inequivalence pre-filter.
+///   3. exhaustive: union support up to `max_exhaustive_inputs` is swept
+///      completely with the 64-way bit simulator (2^n / 64 evaluations).
+///   4. SAT: everything else becomes a per-point miter over one incremental
+///      CDCL solver (sat/solver.hpp) — selector assumptions retire solved
+///      points while learned clauses carry over to the next. Before the first
+///      miter, a SAT-sweeping pass simulates both netlists on shared
+///      deterministic stimulus, pairs internal nodes by signature, and proves
+///      the candidates bottom-up, merging equal nodes across the two sides so
+///      deep miters (multiplier outputs, wide datapaths) collapse instead of
+///      exploding.
+///
+/// Any inequivalence produces a full-interface counterexample which is
+/// replayed through the bit simulator on the *original* netlists before
+/// being reported, so a reported counterexample always witnesses the diff.
+/// Every tier is deterministic, so verdicts, statistics and counterexamples
+/// are byte-stable across runs and thread counts.
+///
+/// Rule ids (emitted by the check_cec wrapper):
+///   cec.interface-mismatch  PI/PO/DFF counts differ between the netlists
+///   cec.output-diverges     a primary output function differs (cex attached)
+///   cec.state-diverges      a DFF next-state function differs (cex attached)
+///   cec.resource-limit      a point exhausted the SAT conflict budget
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace vpga::verify {
+
+struct CecOptions {
+  /// Run the structural-signature tier (disable to benchmark lower tiers).
+  bool structural_tier = true;
+  /// Union-support ceiling for the exhaustive bit-simulation tier; larger
+  /// cones go to SAT. 16 => at most 1024 64-wide evaluation sweeps per point.
+  int max_exhaustive_inputs = 16;
+  /// Per-point SAT conflict budget; exhausting it yields cec.resource-limit
+  /// (a warning) instead of an unbounded solve.
+  long long sat_conflict_budget = 1 << 20;
+  /// Run the SAT-sweeping pass before the first miter (disable to benchmark
+  /// the raw per-point solver).
+  bool sat_sweep = true;
+};
+
+/// A witness assignment over the full golden interface: inputs[i] / state[d]
+/// are 0/1 values aligned with golden.inputs() / golden.dffs().
+struct CecCounterexample {
+  std::vector<std::uint8_t> inputs;
+  std::vector<std::uint8_t> state;
+  std::size_t point_index = 0;  ///< output index, or DFF index when is_state
+  bool is_state = false;
+  std::string point;            ///< interface name of the diverging point
+};
+
+struct CecReport {
+  bool interface_ok = true;
+  /// True when every point proved equivalent (unknowns excluded — see
+  /// `unknown`); meaningless when interface_ok is false.
+  bool equivalent = true;
+  int checks = 0;           ///< points compared
+  int tier_struct = 0;      ///< settled by structural signatures
+  int tier_table = 0;       ///< settled by truth-table comparison
+  int tier_exhaustive = 0;  ///< settled by exhaustive bit simulation
+  int tier_sat = 0;         ///< settled by the SAT miter
+  int npn_rejects = 0;      ///< inequivalences pre-filtered by NPN canon
+  long long sweep_merges = 0;  ///< internal nodes proven equal by SAT sweeping
+  int unknown = 0;          ///< points that exhausted the SAT budget
+  std::vector<std::string> unknown_points;
+  std::optional<CecCounterexample> cex;
+  sat::SolverStats sat_stats;
+  long long hashcons_hits = 0;
+
+  [[nodiscard]] bool proven() const {
+    return interface_ok && equivalent && unknown == 0;
+  }
+};
+
+/// Proves or refutes combinational equivalence of every output and next-state
+/// function. Both netlists must be structurally clean (lint first: cone
+/// traversal needs valid references and acyclic logic).
+[[nodiscard]] CecReport check_combinational_equivalence(const netlist::Netlist& golden,
+                                                        const netlist::Netlist& revised,
+                                                        const CecOptions& opts = {});
+
+/// Order-sensitive structural fingerprint of a netlist (node types, function
+/// words, fanin wiring, interface sizes), transparent to 1-input identity
+/// buffers. The flow uses it to skip re-proving a stage boundary whose logic
+/// function structure is unchanged since the last proven one — buffering,
+/// pack, place and route do not rewrite logic, so their boundaries are
+/// cache hits.
+[[nodiscard]] std::uint64_t netlist_fingerprint(const netlist::Netlist& nl);
+
+/// FlowVerifier wrapper: runs the checker and converts the outcome into
+/// cec.* diagnostics on `report`. When the environment variable
+/// VPGA_CEC_CEX_PATH is set, a refutation also writes the counterexample as
+/// JSON to that path (the CI exact-gate uploads it as an artifact).
+void check_cec(const netlist::Netlist& golden, const netlist::Netlist& revised,
+               const std::string& stage, VerifyReport& report, const CecOptions& opts = {});
+
+}  // namespace vpga::verify

@@ -19,7 +19,9 @@ namespace {
 /// depends on (the region to inspect when this output diverges).
 std::string describe_cone(const Netlist& nl, NodeId root) {
   std::vector<char> seen(nl.num_nodes(), 0);
-  std::vector<std::uint32_t> stack{root.value()};
+  std::vector<std::uint32_t> stack;
+  stack.reserve(nl.num_nodes());
+  stack.push_back(root.value());
   seen[root.index()] = 1;
   int nodes = 0, inputs = 0;
   while (!stack.empty()) {

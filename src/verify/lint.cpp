@@ -102,6 +102,7 @@ void lint_cycles(const Netlist& nl, const std::string& stage, VerifyReport& repo
     }
   }
   std::vector<std::uint32_t> ready;
+  ready.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     if (is_sink(i) && pending[i] == 0) ready.push_back(static_cast<std::uint32_t>(i));
   std::size_t visited = 0;

@@ -12,7 +12,7 @@
 
 namespace vpga::verify {
 
-inline constexpr std::array<std::string_view, 23> kRuleCatalogue = {
+inline constexpr std::array<std::string_view, 27> kRuleCatalogue = {
     // Structural lint (any stage).
     "lint.invalid-fanin",
     "lint.undriven-dff",
@@ -42,6 +42,11 @@ inline constexpr std::array<std::string_view, 23> kRuleCatalogue = {
     // Equivalence gate.
     "equiv.interface-mismatch",
     "equiv.output-diverges",
+    // Exact (SAT-backed) equivalence gate.
+    "cec.interface-mismatch",
+    "cec.output-diverges",
+    "cec.state-diverges",
+    "cec.resource-limit",
 };
 
 }  // namespace vpga::verify

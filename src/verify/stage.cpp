@@ -1,6 +1,5 @@
 #include "verify/stage.hpp"
 
-#include <map>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -149,9 +148,10 @@ void check_post_pack(const Netlist& nl, const pack::PackedDesign& packed,
                                     : static_cast<ConfigKind>(n.config_tag);
   };
 
-  // Occupancy per tile, with each macro contributing its representative's
+  // Occupancy per tile (flat, indexed by tile id — every insertion below is
+  // bounds-checked first), with each macro contributing its representative's
   // combined configuration once (the packer's atomic-unit semantics).
-  std::map<int, std::vector<ConfigKind>> occupancy;
+  std::vector<std::vector<ConfigKind>> occupancy(static_cast<std::size_t>(tiles));
   std::unordered_map<std::uint32_t, int> macro_tile;
   for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
     const NodeId id{i};
@@ -189,13 +189,15 @@ void check_post_pack(const Netlist& nl, const pack::PackedDesign& packed,
                          std::to_string(it->second));
         continue;  // the group's configuration was already counted once
       }
-      occupancy[tile].push_back(config_of(nl.node(n.macro_rep)));
+      occupancy[static_cast<std::size_t>(tile)].push_back(config_of(nl.node(n.macro_rep)));
       continue;
     }
-    occupancy[tile].push_back(config_of(n));
+    occupancy[static_cast<std::size_t>(tile)].push_back(config_of(n));
   }
 
-  for (const auto& [tile, contents] : occupancy) {
+  for (int tile = 0; tile < tiles; ++tile) {
+    const auto& contents = occupancy[static_cast<std::size_t>(tile)];
+    if (contents.empty()) continue;
     if (!core::fits_in_one_plb(arch, contents))
       report.add(Severity::kError, "pack.capacity", stage, NodeId{},
                  "tile " + std::to_string(tile) + " holds " +

@@ -51,11 +51,29 @@ VerifyReport FlowVerifier::check(Stage stage, const netlist::Netlist& nl,
       break;
   }
 
-  // The equivalence gate needs a valid topological order, so it only runs on
+  // The equivalence gates need a valid topological order, so they only run on
   // netlists the lint passed without errors.
-  if (opts_.level == VerifyLevel::kLintEquiv && golden != nullptr &&
-      stage != Stage::kInput && !local.has_errors())
-    check_equivalence(*golden, nl, name, local, opts_.equiv);
+  if (golden != nullptr && stage != Stage::kInput && !local.has_errors()) {
+    if (opts_.level == VerifyLevel::kLintEquiv)
+      check_equivalence(*golden, nl, name, local, opts_.equiv);
+    else if (opts_.level == VerifyLevel::kExact) {
+      // The fingerprint is buffer-transparent, so boundaries that did not
+      // change the logic function structure — pack, place, route, and the
+      // buffering stage itself — skip the re-proof: the last proven pair is
+      // the identical proof obligation.
+      const std::uint64_t fp =
+          netlist_fingerprint(*golden) * 0x100000001B3ull ^ netlist_fingerprint(nl);
+      if (cec_has_proven_fp_ && fp == cec_proven_fp_) {
+        obs::count("cec.cache_hits");
+      } else {
+        check_cec(*golden, nl, name, local, opts_.cec);
+        if (!local.has_errors() && !local.fired("cec.resource-limit")) {
+          cec_proven_fp_ = fp;
+          cec_has_proven_fp_ = true;
+        }
+      }
+    }
+  }
 
   obs::count("verify.findings", static_cast<long long>(local.diagnostics().size()));
   for (const auto& d : local.diagnostics()) {

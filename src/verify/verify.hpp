@@ -13,11 +13,13 @@
 ///
 /// See docs/VERIFY.md for the rule catalogue and the stage contracts.
 
+#include <cstdint>
 #include <string>
 
 #include "core/plb.hpp"
 #include "netlist/netlist.hpp"
 #include "pack/packer.hpp"
+#include "verify/cec.hpp"
 #include "verify/diagnostic.hpp"
 #include "verify/equiv.hpp"
 #include "verify/lint.hpp"
@@ -30,6 +32,7 @@ enum class VerifyLevel : std::uint8_t {
   kOff,       ///< no checking (benchmarking the raw flow)
   kLint,      ///< structural lint + stage legality rules (cheap; default)
   kLintEquiv, ///< lint + random-stimulus equivalence against the input design
+  kExact,     ///< lint + SAT-backed exact equivalence proof (cec.hpp)
 };
 
 /// Pipeline positions at which the flow calls the checker.
@@ -46,6 +49,7 @@ const char* to_string(Stage s);
 struct VerifyOptions {
   VerifyLevel level = VerifyLevel::kLint;
   EquivOptions equiv;
+  CecOptions cec;
 };
 
 /// Stage-boundary checker for one flow run on one architecture.
@@ -70,6 +74,12 @@ class FlowVerifier {
   const core::PlbArchitecture& arch_;
   VerifyOptions opts_;
   VerifyReport report_;
+  /// Buffer-transparent fingerprint of the last (golden, revised) pair the
+  /// exact gate proved clean. Stage boundaries that do not rewrite the logic
+  /// function structure (buffering, pack, place, route) present the same
+  /// proof obligation again; matching here skips the re-proof.
+  std::uint64_t cec_proven_fp_ = 0;
+  bool cec_has_proven_fp_ = false;
 };
 
 /// Prints every diagnostic to stderr and aborts if the report carries

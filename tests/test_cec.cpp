@@ -1,0 +1,296 @@
+// Tests for the exact equivalence checker (verify/cec.hpp): seeded mutations
+// that random stimulus provably misses, counterexample replay, tier routing,
+// resource limits and byte-stable determinism.
+
+#include "verify/cec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/plb.hpp"
+#include "designs/designs.hpp"
+#include "netlist/bitsim.hpp"
+#include "netlist/netlist.hpp"
+#include "synth/mapper.hpp"
+#include "verify/equiv.hpp"
+
+namespace vpga::verify {
+namespace {
+
+using netlist::BitSimulator;
+using netlist::Netlist;
+using netlist::NodeId;
+
+/// Replays a counterexample through both original netlists and returns true
+/// iff the diverging point really computes different values — the
+/// independent witness check the tests insist on for every refutation.
+bool cex_witnesses_diff(const Netlist& a, const Netlist& b, const CecCounterexample& cex) {
+  BitSimulator sa(a);
+  BitSimulator sb(b);
+  for (std::size_t i = 0; i < cex.inputs.size(); ++i) {
+    const std::uint64_t w = cex.inputs[i] != 0 ? ~std::uint64_t{0} : 0;
+    sa.set_input(i, w);
+    sb.set_input(i, w);
+  }
+  for (std::size_t d = 0; d < cex.state.size(); ++d) {
+    const std::uint64_t w = cex.state[d] != 0 ? ~std::uint64_t{0} : 0;
+    sa.set_state(d, w);
+    sb.set_state(d, w);
+  }
+  sa.eval();
+  sb.eval();
+  const std::uint64_t va = cex.is_state ? sa.next_state(cex.point_index) : sa.output(cex.point_index);
+  const std::uint64_t vb = cex.is_state ? sb.next_state(cex.point_index) : sb.output(cex.point_index);
+  return ((va ^ vb) & 1u) != 0;
+}
+
+/// A `width`-input AND tree whose output is 1 only on the all-ones vector —
+/// the classic needle random stimulus cannot find. `mutate_at` >= 0 replaces
+/// that leaf-pair gate with OR (a gate-type flip visible only when the whole
+/// tree is driven to 1).
+Netlist make_and_tree(int width, int mutate_at = -1) {
+  Netlist nl("and_tree");
+  std::vector<NodeId> layer;
+  for (int i = 0; i < width; ++i) layer.push_back(nl.add_input("x" + std::to_string(i)));
+  int gate = 0;
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(gate == mutate_at ? nl.add_or(layer[i], layer[i + 1])
+                                       : nl.add_and(layer[i], layer[i + 1]));
+      ++gate;
+    }
+    if (layer.size() % 2 != 0) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  nl.add_output(layer[0], "y");
+  return nl;
+}
+
+/// The random-stimulus gate at its defaults (64 cycles x 64 lanes) — used to
+/// demonstrate which mutations it misses.
+bool random_equiv_passes(const Netlist& golden, const Netlist& revised) {
+  VerifyReport report;
+  check_equivalence(golden, revised, "test", report, EquivOptions{});
+  return !report.has_errors();
+}
+
+TEST(Cec, IdenticalNetlistsProveStructurally) {
+  const Netlist nl = make_and_tree(32);
+  const CecReport rep = check_combinational_equivalence(nl, nl);
+  EXPECT_TRUE(rep.proven());
+  EXPECT_EQ(rep.checks, 1);
+  EXPECT_EQ(rep.tier_struct, 1);
+  EXPECT_EQ(rep.tier_sat, 0);
+}
+
+TEST(Cec, ReassociatedAddersProve) {
+  // Three adder architectures computing the same function with completely
+  // different structure: ripple vs carry-select (exhaustive-tier supports)
+  // and ripple vs Kogge-Stone prefix.
+  const Netlist ripple = designs::make_ripple_adder(12);
+  const Netlist csel = designs::make_carry_select_adder(12, 4);
+  const Netlist prefix = designs::make_prefix_adder(12);
+  EXPECT_TRUE(check_combinational_equivalence(ripple, csel).proven());
+  const CecReport rep = check_combinational_equivalence(ripple, prefix);
+  EXPECT_TRUE(rep.proven());
+  EXPECT_EQ(rep.checks, 13);  // 12 sums + carry-out
+}
+
+TEST(Cec, GateTypeFlipEscapesRandomButIsCaught) {
+  // Flip one leaf AND to OR deep inside a 40-input AND tree. The outputs
+  // differ only when the other 38 inputs are all 1 (probability 2^-38 per
+  // pattern), so the random gate's 4096 patterns miss it essentially surely
+  // — while the exact gate returns a replayable counterexample.
+  const Netlist golden = make_and_tree(40);
+  const Netlist mutated = make_and_tree(40, /*mutate_at=*/3);
+  EXPECT_TRUE(random_equiv_passes(golden, mutated));
+
+  const CecReport rep = check_combinational_equivalence(golden, mutated);
+  EXPECT_FALSE(rep.equivalent);
+  ASSERT_TRUE(rep.cex.has_value());
+  EXPECT_FALSE(rep.cex->is_state);
+  EXPECT_TRUE(cex_witnesses_diff(golden, mutated, *rep.cex));
+}
+
+TEST(Cec, FaninSwapEscapesRandomButIsCaught) {
+  // out = AND(x0..x35) & MUX(s, d0, d1): swapping the mux data fanins only
+  // shows when every tree input is 1 and d0 != d1 — invisible to random
+  // stimulus, found exactly by the miter.
+  auto build = [](bool swap) {
+    Netlist nl("gated_mux");
+    std::vector<NodeId> xs;
+    for (int i = 0; i < 36; ++i) xs.push_back(nl.add_input("x" + std::to_string(i)));
+    const NodeId s = nl.add_input("s");
+    const NodeId d0 = nl.add_input("d0");
+    const NodeId d1 = nl.add_input("d1");
+    NodeId acc = xs[0];
+    for (int i = 1; i < 36; ++i) acc = nl.add_and(acc, xs[i]);
+    const NodeId m = swap ? nl.add_mux(s, d1, d0) : nl.add_mux(s, d0, d1);
+    nl.add_output(nl.add_and(acc, m), "y");
+    return nl;
+  };
+  const Netlist golden = build(false);
+  const Netlist mutated = build(true);
+  EXPECT_TRUE(random_equiv_passes(golden, mutated));
+
+  const CecReport rep = check_combinational_equivalence(golden, mutated);
+  EXPECT_FALSE(rep.equivalent);
+  ASSERT_TRUE(rep.cex.has_value());
+  EXPECT_TRUE(cex_witnesses_diff(golden, mutated, *rep.cex));
+}
+
+TEST(Cec, ConstantStuckOutputEscapesRandomButIsCaught) {
+  // The output of a 40-input AND tree is 0 on all but one of 2^40 vectors;
+  // sticking it at constant 0 passes every random pattern, but the exact
+  // checker must produce the all-ones witness.
+  const Netlist golden = make_and_tree(40);
+  Netlist stuck("and_tree");
+  for (int i = 0; i < 40; ++i) stuck.add_input("x" + std::to_string(i));
+  stuck.add_output(stuck.add_constant(false), "y");
+  EXPECT_TRUE(random_equiv_passes(golden, stuck));
+
+  const CecReport rep = check_combinational_equivalence(golden, stuck);
+  EXPECT_FALSE(rep.equivalent);
+  ASSERT_TRUE(rep.cex.has_value());
+  for (const std::uint8_t v : rep.cex->inputs) EXPECT_EQ(v, 1);  // the needle
+  EXPECT_TRUE(cex_witnesses_diff(golden, stuck, *rep.cex));
+}
+
+TEST(Cec, StateDivergenceIsCaughtWithStateWitness) {
+  // Corrupt one next-state function of a counter: increment becomes hold on
+  // the top bit. The witness must be a state assignment (is_state = true).
+  auto build = [](bool corrupt) {
+    Netlist nl("cnt");
+    std::vector<NodeId> q;
+    for (int i = 0; i < 4; ++i) q.push_back(nl.add_dff(NodeId(), "q" + std::to_string(i)));
+    NodeId carry = nl.add_constant(true);
+    for (int i = 0; i < 4; ++i) {
+      const NodeId sum = nl.add_xor(q[i], carry);
+      const NodeId d = (corrupt && i == 3) ? q[i] : sum;
+      nl.set_dff_input(q[i], d);
+      if (i + 1 < 4) carry = nl.add_and(q[i], carry);
+      nl.add_output(q[i], "o" + std::to_string(i));
+    }
+    return nl;
+  };
+  const Netlist golden = build(false);
+  const Netlist mutated = build(true);
+  const CecReport rep = check_combinational_equivalence(golden, mutated);
+  EXPECT_FALSE(rep.equivalent);
+  ASSERT_TRUE(rep.cex.has_value());
+  EXPECT_TRUE(rep.cex->is_state);
+  EXPECT_EQ(rep.cex->point_index, 3u);
+  EXPECT_TRUE(cex_witnesses_diff(golden, mutated, *rep.cex));
+}
+
+TEST(Cec, NpnPrefilterRejectsSmallCones) {
+  // AND vs XOR are in different NPN classes, so the table tier refutes via
+  // the canonical-form pre-filter before scanning rows.
+  Netlist a("npn_a");
+  Netlist b("npn_b");
+  {
+    const NodeId x = a.add_input("x");
+    const NodeId y = a.add_input("y");
+    a.add_output(a.add_and(x, y), "z");
+  }
+  {
+    const NodeId x = b.add_input("x");
+    const NodeId y = b.add_input("y");
+    b.add_output(b.add_xor(x, y), "z");
+  }
+  const CecReport rep = check_combinational_equivalence(a, b);
+  EXPECT_FALSE(rep.equivalent);
+  EXPECT_EQ(rep.npn_rejects, 1);
+  ASSERT_TRUE(rep.cex.has_value());
+  EXPECT_TRUE(cex_witnesses_diff(a, b, *rep.cex));
+}
+
+TEST(Cec, InterfaceMismatchRefusesToCompare) {
+  const Netlist small = designs::make_ripple_adder(4);
+  const Netlist large = designs::make_ripple_adder(8);
+  const CecReport rep = check_combinational_equivalence(small, large);
+  EXPECT_FALSE(rep.interface_ok);
+  EXPECT_FALSE(rep.proven());
+}
+
+TEST(Cec, ExhaustedBudgetReportsUnknownNotVerdict) {
+  // With the sweep disabled, the exhaustive tier capped below the adders'
+  // support and a zero conflict budget, wide points must come back unknown —
+  // never a wrong verdict.
+  const Netlist ripple = designs::make_ripple_adder(16);
+  const Netlist prefix = designs::make_prefix_adder(16);
+  CecOptions opts;
+  opts.sat_sweep = false;
+  opts.max_exhaustive_inputs = 6;
+  opts.sat_conflict_budget = 0;
+  const CecReport rep = check_combinational_equivalence(ripple, prefix, opts);
+  EXPECT_TRUE(rep.equivalent);  // nothing refuted...
+  EXPECT_GT(rep.unknown, 0);    // ...but wide points are undecided
+  EXPECT_FALSE(rep.proven());
+  EXPECT_FALSE(rep.unknown_points.empty());
+}
+
+TEST(Cec, SweepCollapsesMappedDesign) {
+  // Technology mapping rewrites the ALU into restricted cells; the sweep
+  // must rediscover the internal equivalences and merge nodes across sides.
+  const auto design = designs::make_alu(8);
+  const auto arch = core::PlbArchitecture::granular();
+  const auto mapped = synth::tech_map(design.netlist, synth::cell_target(arch),
+                                      synth::Objective::kDelay);
+  const CecReport rep = check_combinational_equivalence(design.netlist, mapped.netlist);
+  EXPECT_TRUE(rep.proven()) << "ALU tech-map must prove exactly";
+}
+
+TEST(Cec, VerdictAndCounterexampleAreByteStable) {
+  const Netlist golden = make_and_tree(40);
+  const Netlist mutated = make_and_tree(40, /*mutate_at=*/3);
+  const CecReport first = check_combinational_equivalence(golden, mutated);
+  ASSERT_TRUE(first.cex.has_value());
+  for (int i = 0; i < 3; ++i) {
+    const CecReport again = check_combinational_equivalence(golden, mutated);
+    ASSERT_TRUE(again.cex.has_value());
+    EXPECT_EQ(again.cex->inputs, first.cex->inputs);
+    EXPECT_EQ(again.cex->state, first.cex->state);
+    EXPECT_EQ(again.cex->point_index, first.cex->point_index);
+    EXPECT_EQ(again.equivalent, first.equivalent);
+    EXPECT_EQ(again.sat_stats.conflicts, first.sat_stats.conflicts);
+    EXPECT_EQ(again.sat_stats.decisions, first.sat_stats.decisions);
+    EXPECT_EQ(again.sat_stats.propagations, first.sat_stats.propagations);
+  }
+}
+
+TEST(Cec, ProofStatisticsAreByteStable) {
+  const Netlist ripple = designs::make_ripple_adder(14);
+  const Netlist prefix = designs::make_prefix_adder(14);
+  const CecReport first = check_combinational_equivalence(ripple, prefix);
+  EXPECT_TRUE(first.proven());
+  const CecReport again = check_combinational_equivalence(ripple, prefix);
+  EXPECT_EQ(again.tier_struct, first.tier_struct);
+  EXPECT_EQ(again.tier_table, first.tier_table);
+  EXPECT_EQ(again.tier_exhaustive, first.tier_exhaustive);
+  EXPECT_EQ(again.tier_sat, first.tier_sat);
+  EXPECT_EQ(again.sweep_merges, first.sweep_merges);
+  EXPECT_EQ(again.sat_stats.conflicts, first.sat_stats.conflicts);
+  EXPECT_EQ(again.sat_stats.propagations, first.sat_stats.propagations);
+}
+
+TEST(Cec, PaperSuiteMapsProveExactly) {
+  // Every paper design survives technology mapping with an exact proof on
+  // both architectures (the flow-level equivalent of the CI exact gate).
+  for (const auto& arch : {core::PlbArchitecture::granular(), core::PlbArchitecture::lut_based()}) {
+    for (const auto& design : designs::paper_suite(0.2)) {
+      const auto mapped =
+          synth::tech_map(design.netlist, synth::cell_target(arch), synth::Objective::kDelay);
+      const CecReport rep =
+          check_combinational_equivalence(design.netlist, mapped.netlist);
+      EXPECT_TRUE(rep.proven()) << design.netlist.name() << " on " << arch.name;
+      EXPECT_EQ(rep.checks,
+                static_cast<int>(design.netlist.outputs().size() + design.netlist.dffs().size()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vpga::verify

@@ -1,0 +1,209 @@
+// Tests for the CDCL SAT solver (sat/solver.hpp): verdicts, models,
+// assumptions, incremental reuse, conflict budgets and determinism.
+
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vpga::sat {
+namespace {
+
+Lit pos(Var v) { return Lit(v, false); }
+Lit neg(Var v) { return Lit(v, true); }
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, UnitPropagationFixesModel) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({pos(a)});
+  s.add_clause({neg(a), pos(b)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(SatSolver, ContradictoryUnitsAreUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause({pos(a)});
+  s.add_clause({neg(a)});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(SatSolver, EmptyClauseIsUnsat) {
+  Solver s;
+  (void)s.new_var();
+  s.add_clause(std::initializer_list<Lit>{});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, DuplicateAndTautologicalLiterals) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({pos(a), pos(a), pos(a)});   // collapses to a unit
+  s.add_clause({pos(b), neg(b), pos(a)});   // tautology, dropped
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(SatSolver, ModelSatisfiesEveryClause) {
+  // 3-SAT instance with enough structure to force real search.
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 12; ++i) v.push_back(s.new_var());
+  std::vector<std::vector<Lit>> clauses;
+  for (int i = 0; i + 2 < 12; ++i) {
+    clauses.push_back({pos(v[i]), neg(v[i + 1]), pos(v[i + 2])});
+    clauses.push_back({neg(v[i]), pos(v[i + 1]), neg(v[i + 2])});
+  }
+  for (const auto& c : clauses) s.add_clause(std::span<const Lit>(c));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  for (const auto& c : clauses) {
+    bool satisfied = false;
+    for (const Lit l : c) satisfied |= s.model_value(l.var()) != l.negated();
+    EXPECT_TRUE(satisfied);
+  }
+}
+
+/// Pigeonhole principle PHP(n+1, n): n+1 pigeons in n holes, classically
+/// hard for resolution — exercises learning, restarts and VSIDS.
+void add_pigeonhole(Solver& s, int pigeons, int holes, std::vector<std::vector<Var>>& at) {
+  at.assign(static_cast<std::size_t>(pigeons), {});
+  for (int p = 0; p < pigeons; ++p)
+    for (int h = 0; h < holes; ++h) at[static_cast<std::size_t>(p)].push_back(s.new_var());
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> any;
+    for (int h = 0; h < holes; ++h) any.push_back(pos(at[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)]));
+    s.add_clause(std::span<const Lit>(any));
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_clause({neg(at[static_cast<std::size_t>(p1)][static_cast<std::size_t>(h)]),
+                      neg(at[static_cast<std::size_t>(p2)][static_cast<std::size_t>(h)])});
+}
+
+TEST(SatSolver, PigeonholeIsUnsat) {
+  Solver s;
+  std::vector<std::vector<Var>> at;
+  add_pigeonhole(s, 6, 5, at);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0);
+}
+
+TEST(SatSolver, PigeonholeExactFitIsSat) {
+  Solver s;
+  std::vector<std::vector<Var>> at;
+  add_pigeonhole(s, 5, 5, at);
+  ASSERT_EQ(s.solve(), Result::kSat);
+  // The model must place every pigeon in a distinct hole.
+  std::vector<int> hole_of(5, -1);
+  for (int p = 0; p < 5; ++p) {
+    for (int h = 0; h < 5; ++h) {
+      if (!s.model_value(at[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)])) continue;
+      EXPECT_EQ(hole_of[static_cast<std::size_t>(h)], -1);
+      hole_of[static_cast<std::size_t>(h)] = p;
+    }
+  }
+}
+
+TEST(SatSolver, AssumptionsAreTemporary) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({neg(a), pos(b)});
+  const Lit assume_a[1] = {pos(a)};
+  ASSERT_EQ(s.solve(std::span<const Lit>(assume_a, 1)), Result::kSat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+  // A conflicting assumption pair is UNSAT without poisoning the solver.
+  s.add_clause({neg(b), neg(a)});
+  ASSERT_EQ(s.solve(std::span<const Lit>(assume_a, 1)), Result::kUnsat);
+  EXPECT_TRUE(s.ok());  // only unsat *under the assumption*
+  EXPECT_EQ(s.solve(), Result::kSat);  // still satisfiable without it
+}
+
+TEST(SatSolver, IncrementalSelectorRetirement) {
+  // The CEC usage pattern: miters guarded by selector variables, retired by
+  // unit clauses after each query.
+  Solver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  s.add_clause({pos(x), pos(y)});
+  const Lit sel1(s.new_var(), false);
+  s.add_clause({~sel1, neg(x)});
+  s.add_clause({~sel1, neg(y)});
+  const Lit a1[1] = {sel1};
+  EXPECT_EQ(s.solve(std::span<const Lit>(a1, 1)), Result::kUnsat);
+  s.add_clause({~sel1});  // retire
+  const Lit sel2(s.new_var(), false);
+  s.add_clause({~sel2, neg(x)});
+  const Lit a2[1] = {sel2};
+  ASSERT_EQ(s.solve(std::span<const Lit>(a2, 1)), Result::kSat);
+  EXPECT_FALSE(s.model_value(x));
+  EXPECT_TRUE(s.model_value(y));
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+  Solver s;
+  std::vector<std::vector<Var>> at;
+  add_pigeonhole(s, 8, 7, at);
+  EXPECT_EQ(s.solve({}, 5), Result::kUnknown);
+  EXPECT_LE(s.stats().conflicts, 64);  // stopped early, not after full search
+  // The solver remains usable: the full-budget answer is still reachable.
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, VerdictAndStatsAreDeterministic) {
+  auto run = [] {
+    Solver s;
+    std::vector<std::vector<Var>> at;
+    add_pigeonhole(s, 6, 5, at);
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+    return s.stats();
+  };
+  const SolverStats first = run();
+  for (int i = 0; i < 3; ++i) {
+    const SolverStats again = run();
+    EXPECT_EQ(again.conflicts, first.conflicts);
+    EXPECT_EQ(again.decisions, first.decisions);
+    EXPECT_EQ(again.propagations, first.propagations);
+    EXPECT_EQ(again.restarts, first.restarts);
+    EXPECT_EQ(again.learned_clauses, first.learned_clauses);
+  }
+}
+
+TEST(SatSolver, ModelIsDeterministic) {
+  auto run = [] {
+    Solver s;
+    std::vector<Var> v;
+    for (int i = 0; i < 16; ++i) v.push_back(s.new_var());
+    for (int i = 0; i + 2 < 16; i += 2)
+      s.add_clause({Lit(v[static_cast<std::size_t>(i)], false),
+                    Lit(v[static_cast<std::size_t>(i + 1)], true),
+                    Lit(v[static_cast<std::size_t>(i + 2)], false)});
+    EXPECT_EQ(s.solve(), Result::kSat);
+    std::vector<bool> model;
+    for (const Var var : v) model.push_back(s.model_value(var));
+    return model;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SatSolver, LubySequence) {
+  // luby: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  const long long expect[] = {1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8};
+  for (int i = 0; i < 15; ++i) EXPECT_EQ(luby(i), expect[i]) << i;
+}
+
+}  // namespace
+}  // namespace vpga::sat

@@ -491,6 +491,68 @@ TEST(FlowVerifier, BenchSuitePassesLintEquivCleanly) {
   }
 }
 
+// --- Exact equivalence gate (cec.*) ------------------------------------------
+
+TEST(Cec, DifferentInterfacesFireInterfaceMismatch) {
+  VerifyReport r;
+  check_cec(designs::make_ripple_adder(4), designs::make_ripple_adder(8), "test", r);
+  expect_fired(r, "cec.interface-mismatch");
+}
+
+TEST(Cec, ComplementedNodeFiresOutputDiverges) {
+  const auto golden = designs::make_ripple_adder(4);
+  auto revised = golden;
+  for (NodeId id : revised.all_nodes()) {
+    auto& n = revised.node(id);
+    if (n.type == NodeType::kComb && n.num_fanins() >= 2) {
+      n.func = ~n.func;  // structurally legal, functionally wrong
+      break;
+    }
+  }
+  VerifyReport r;
+  check_cec(golden, revised, "test", r);
+  expect_fired(r, "cec.output-diverges");
+  ASSERT_FALSE(r.diagnostics().empty());
+  // The diagnostic carries the replayed counterexample vector.
+  EXPECT_NE(r.diagnostics().front().message.find("counterexample"), std::string::npos);
+}
+
+TEST(Cec, CorruptedNextStateFiresStateDiverges) {
+  const auto golden = designs::make_counter(4);
+  auto revised = golden;
+  // Complement the D cone of the last register without touching any output.
+  const NodeId dff = revised.dffs().back();
+  const NodeId d = revised.fanin(dff, 0);
+  revised.set_dff_input(dff, revised.add_not(d));
+  VerifyReport r;
+  check_cec(golden, revised, "test", r);
+  expect_fired(r, "cec.state-diverges");
+}
+
+TEST(Cec, ExhaustedBudgetFiresResourceLimit) {
+  CecOptions opts;
+  opts.sat_sweep = false;
+  opts.max_exhaustive_inputs = 6;
+  opts.sat_conflict_budget = 0;
+  VerifyReport r;
+  check_cec(designs::make_ripple_adder(16), designs::make_prefix_adder(16), "test", r);
+  EXPECT_EQ(r.error_count(), 0);  // full budget: proves clean
+  check_cec(designs::make_ripple_adder(16), designs::make_prefix_adder(16), "test", r, opts);
+  expect_fired(r, "cec.resource-limit");
+  EXPECT_EQ(r.error_count(), 0);  // undecided is a warning, not a verdict
+}
+
+TEST(FlowVerifier, ExactLevelProvesMappedStages) {
+  Staged s;
+  VerifyOptions opts;
+  opts.level = VerifyLevel::kExact;
+  FlowVerifier v(s.arch, opts);
+  EXPECT_EQ(v.check(Stage::kInput, s.golden).error_count(), 0);
+  EXPECT_EQ(v.check(Stage::kPostMap, s.mapped, &s.golden).error_count(), 0);
+  EXPECT_EQ(v.check(Stage::kPostCompact, s.compacted, &s.golden).error_count(), 0);
+  EXPECT_EQ(v.report().error_count(), 0) << v.report().summary();
+}
+
 // --- Rule-catalogue audit ----------------------------------------------------
 // These two suites are registered last in this translation unit so they run
 // after every corruption test above has populated fired_registry() (gtest
