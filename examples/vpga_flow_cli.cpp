@@ -37,6 +37,8 @@ void usage(const char* argv0) {
                "          [--save-verilog file.v] [--power]\n"
                "          [--verify off|lint|equiv|exact]  stage checking (docs/VERIFY.md;\n"
                "                                      exact = SAT-backed equivalence proof)\n"
+               "          [--cec-force-bdd]           route every exact-equivalence point\n"
+               "                                      through the ROBDD tier first\n"
                "          [--trace trace.json]        Chrome trace of the flow stages\n"
                "          [--metrics-json file.json]  flow counters/histograms\n"
                "                                      (docs/OBSERVABILITY.md)\n"
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
   double clock_ps = 0.0;
   bool want_power = false;
   bool want_memtrack = false;
+  bool cec_force_bdd = false;
   verify::VerifyLevel verify_level = verify::VerifyLevel::kLint;
 
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +97,8 @@ int main(int argc, char** argv) {
       want_memtrack = true;
     } else if (a == "--power") {
       want_power = true;
+    } else if (a == "--cec-force-bdd") {
+      cec_force_bdd = true;
     } else if (a == "--verify") {
       const char* v = next();
       const std::string level = v ? v : "";
@@ -160,6 +165,7 @@ int main(int argc, char** argv) {
 
   flow::FlowOptions fopts;
   fopts.verify_level = verify_level;
+  fopts.cec.force_bdd = cec_force_bdd;
   fopts.trace = !trace_path.empty();
   fopts.metrics = !metrics_path.empty() || !openmetrics_path.empty();
   fopts.memtrack = want_memtrack;

@@ -1,0 +1,180 @@
+#include "bdd/bdd.hpp"
+
+#include "common/assert.hpp"
+
+namespace vpga::bdd {
+namespace {
+
+/// Cache/table sizing: the computed cache is a fixed 2^16-entry array
+/// (1 MiB), the unique table starts small and doubles; both use the same
+/// mixer. Constants from splitmix64, the project-wide deterministic mixer.
+constexpr std::uint32_t kCacheBits = 16;
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash3(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  return mix((std::uint64_t{a} << 32 | b) ^ mix(c));
+}
+
+}  // namespace
+
+BddManager::BddManager(std::uint32_t node_budget)
+    : budget_(node_budget == 0 ? kDefaultBudget : node_budget) {
+  // Node 0: the terminal. Its hi/lo are never read; its level sorts below
+  // every variable so cofactoring treats it as a leaf.
+  var_.push_back(kTermLevel);
+  hi_.push_back(kTrue);
+  lo_.push_back(kTrue);
+  table_.assign(1u << 10, 0);
+  table_mask_ = static_cast<std::uint32_t>(table_.size()) - 1;
+  cache_.assign(std::size_t{1} << kCacheBits, CacheEntry{});
+}
+
+Ref BddManager::var(std::uint32_t v) { return mk(v, kTrue, kFalse); }
+
+void BddManager::grow_table() {
+  std::vector<std::uint32_t> old;
+  old.swap(table_);
+  table_.assign(old.size() * 2, 0);
+  table_mask_ = static_cast<std::uint32_t>(table_.size()) - 1;
+  for (const std::uint32_t idx : old) {
+    if (idx == 0) continue;
+    std::uint32_t slot =
+        static_cast<std::uint32_t>(hash3(var_[idx], hi_[idx], lo_[idx])) & table_mask_;
+    while (table_[slot] != 0) slot = (slot + 1) & table_mask_;
+    table_[slot] = idx;
+  }
+}
+
+Ref BddManager::mk(std::uint32_t v, Ref hi, Ref lo) {
+  if (exhausted_ || hi == kInvalid || lo == kInvalid) return kInvalid;
+  if (hi == lo) return hi;  // reduction: redundant test
+  // Canonical form: the then-edge is regular. A complemented then-edge moves
+  // the complement onto the node's output edge instead.
+  if ((hi & 1u) != 0) return bdd_not(mk(v, bdd_not(hi), bdd_not(lo)));
+
+  std::uint32_t slot = static_cast<std::uint32_t>(hash3(v, hi, lo)) & table_mask_;
+  while (table_[slot] != 0) {
+    const std::uint32_t idx = table_[slot];
+    if (var_[idx] == v && hi_[idx] == hi && lo_[idx] == lo) {
+      ++stats_.unique_hits;
+      return idx << 1;
+    }
+    slot = (slot + 1) & table_mask_;
+  }
+  if (var_.size() >= budget_) {
+    exhausted_ = true;  // sticky: the whole build is abandoned, not one node
+    return kInvalid;
+  }
+  const auto idx = static_cast<std::uint32_t>(var_.size());
+  var_.push_back(v);
+  hi_.push_back(hi);
+  lo_.push_back(lo);
+  table_[slot] = idx;
+  // Grow at ~70% load so probe chains stay short; ids are untouched.
+  if (var_.size() * 10 >= table_.size() * 7) grow_table();
+  return idx << 1;
+}
+
+Ref BddManager::ite(Ref f, Ref g, Ref h) {
+  if (f == kInvalid || g == kInvalid || h == kInvalid || exhausted_) return kInvalid;
+  // Terminal and absorption cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  if (g == kFalse && h == kTrue) return bdd_not(f);
+  if (f == g) g = kTrue;        // ite(f, f, h) = ite(f, 1, h)
+  else if (f == bdd_not(g)) g = kFalse;
+  if (f == h) h = kFalse;       // ite(f, g, f) = ite(f, g, 0)
+  else if (f == bdd_not(h)) h = kTrue;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  if (g == kFalse && h == kTrue) return bdd_not(f);
+
+  // Cache canonicalization: strip the complement off f (swapping the
+  // branches), then off g (complementing the result) — one canonical triple
+  // per equivalence class keeps the cache hit rate and, with the then-regular
+  // node rule, makes equality a pure edge compare.
+  if ((f & 1u) != 0) {
+    f = bdd_not(f);
+    const Ref t = g;
+    g = h;
+    h = t;
+  }
+  bool complement_result = false;
+  if ((g & 1u) != 0) {
+    complement_result = true;
+    g = bdd_not(g);
+    h = bdd_not(h);
+  }
+
+  ++stats_.ite_calls;
+  const std::size_t slot =
+      static_cast<std::size_t>(hash3(f, g, h) & ((std::uint64_t{1} << kCacheBits) - 1));
+  CacheEntry& e = cache_[slot];
+  if (e.f == f && e.g == g && e.h == h) {
+    ++stats_.cache_hits;
+    return complement_result ? bdd_not(e.result) : e.result;
+  }
+
+  const std::uint32_t lf = level(f);
+  const std::uint32_t lg = level(g);
+  const std::uint32_t lh = level(h);
+  std::uint32_t top = lf < lg ? lf : lg;
+  if (lh < top) top = lh;
+
+  const Ref t = ite(cof(f, top, true), cof(g, top, true), cof(h, top, true));
+  const Ref r0 = ite(cof(f, top, false), cof(g, top, false), cof(h, top, false));
+  const Ref result = mk(top, t, r0);
+  if (result == kInvalid) return kInvalid;
+  e.f = f;
+  e.g = g;
+  e.h = h;
+  e.result = result;
+  return complement_result ? bdd_not(result) : result;
+}
+
+bool BddManager::eval(Ref f, const std::vector<std::uint8_t>& values) const {
+  VPGA_ASSERT(f != kInvalid);
+  std::uint32_t parity = f & 1u;
+  while ((f >> 1) != 0) {
+    const std::uint32_t v = level(f);
+    VPGA_ASSERT(v < values.size());
+    const Ref edge = values[v] != 0 ? hi_[f >> 1] : lo_[f >> 1];
+    parity ^= edge & 1u;
+    f = edge;
+  }
+  return parity == 0;
+}
+
+bool BddManager::one_sat(Ref f, std::uint32_t num_vars,
+                         std::vector<std::uint8_t>& values) const {
+  VPGA_ASSERT(f != kInvalid);
+  values.assign(num_vars, 0);
+  if (f == kFalse) return false;
+  // Every internal node of a reduced BDD is non-constant, so from any node
+  // some branch reaches 1 under the accumulated parity; only a branch that
+  // lands directly on the terminal can be the wrong constant. Prefer the
+  // then-branch for a deterministic witness.
+  while ((f >> 1) != 0) {
+    const std::uint32_t v = level(f);
+    VPGA_ASSERT(v < num_vars);
+    const Ref hi = hi_[f >> 1] ^ (f & 1u);
+    if (hi != kFalse) {
+      values[v] = 1;
+      f = hi;
+    } else {
+      f = lo_[f >> 1] ^ (f & 1u);
+    }
+  }
+  VPGA_ASSERT(f == kTrue && "one_sat walked into the 0 terminal");
+  return true;
+}
+
+}  // namespace vpga::bdd

@@ -1,0 +1,131 @@
+#pragma once
+/// \file bdd.hpp
+/// Reduced ordered binary decision diagrams for the exact-equivalence engine.
+///
+/// A deliberately small, dependency-free ROBDD package in the
+/// Brace–Rudell–Bryant style: an arena-backed node store with integer ids, a
+/// unique table enforcing structural canonicity, complement edges with the
+/// then-edge-regular normalization, and ITE with a bounded direct-mapped
+/// computed cache. Under a fixed variable order two equivalent functions
+/// always reduce to the *same edge*, so equivalence checking is a pointer
+/// compare — the property the CEC tier ladder exploits for XOR-dominated
+/// cones (parity chains, carry-lookahead) where CDCL clause learning scales
+/// exponentially but BDDs stay linear.
+///
+/// Everything is deterministic by construction: node ids follow creation
+/// order only, the cache is a fixed-size array, and there is no wall-clock,
+/// pointer ordering or randomness anywhere — a given build sequence produces
+/// byte-identical ids, stats and satisfying paths across runs and threads.
+///
+/// Resource discipline: the manager carries a hard node budget. Exceeding it
+/// poisons the manager (`exhausted()`) and every subsequent operation returns
+/// `kInvalid` instead of growing — callers fall back to another engine (the
+/// CEC falls through to SAT) rather than consuming unbounded memory.
+
+#include <cstdint>
+#include <vector>
+
+namespace vpga::bdd {
+
+/// An edge into the node arena: (node index << 1) | complement bit.
+/// `kTrue`/`kFalse` are the two edges onto the single terminal node 0;
+/// `kInvalid` is the poisoned edge produced after budget exhaustion.
+using Ref = std::uint32_t;
+
+inline constexpr Ref kTrue = 0;
+inline constexpr Ref kFalse = 1;
+inline constexpr Ref kInvalid = 0xFFFFFFFFu;
+
+/// Complement of an edge (constant time; kInvalid stays invalid).
+constexpr Ref bdd_not(Ref f) { return f == kInvalid ? kInvalid : (f ^ 1u); }
+
+/// Cumulative build statistics (deterministic, exported as cec.bdd_*).
+struct BddStats {
+  long long unique_hits = 0;   ///< mk() calls answered by the unique table
+  long long cache_hits = 0;    ///< ite() calls answered by the computed cache
+  long long ite_calls = 0;     ///< non-terminal ite() recursions
+};
+
+/// One ROBDD universe: a variable order (index = level), a node arena, the
+/// unique table and the computed cache. Not thread-safe; the CEC builds one
+/// manager per check point so cones get independent variable orders.
+class BddManager {
+ public:
+  /// `node_budget` caps the arena (terminal included); 0 means the default.
+  explicit BddManager(std::uint32_t node_budget = 0);
+
+  /// The projection function of variable `v` (levels are the variable order:
+  /// smaller v = closer to the root). Allocates the node on first use.
+  Ref var(std::uint32_t v);
+
+  /// if-then-else: f ? g : h, the universal connective. Returns kInvalid
+  /// once the node budget is exhausted (sticky — see exhausted()).
+  Ref ite(Ref f, Ref g, Ref h);
+
+  Ref bdd_and(Ref f, Ref g) { return ite(f, g, kFalse); }
+  Ref bdd_or(Ref f, Ref g) { return ite(f, kTrue, g); }
+  Ref bdd_xor(Ref f, Ref g) { return ite(f, bdd_not(g), g); }
+
+  /// True once any operation ran out of node budget; every later operation
+  /// returns kInvalid. The caller is expected to discard the manager.
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+
+  /// Nodes allocated so far (terminal included).
+  [[nodiscard]] std::size_t num_nodes() const { return var_.size(); }
+  [[nodiscard]] const BddStats& stats() const { return stats_; }
+
+  /// Evaluates `f` under a complete assignment (values[v] = value of
+  /// variable v, one byte per variable). f must be valid.
+  [[nodiscard]] bool eval(Ref f, const std::vector<std::uint8_t>& values) const;
+
+  /// Extracts one satisfying assignment of `f` into `values` (resized to
+  /// `num_vars`, don't-care variables forced to 0). Returns false iff
+  /// f == kFalse (f must not be kInvalid). Deterministic: always follows the
+  /// then-branch where possible, so the witness is byte-stable.
+  bool one_sat(Ref f, std::uint32_t num_vars, std::vector<std::uint8_t>& values) const;
+
+ private:
+  static constexpr std::uint32_t kDefaultBudget = 1u << 20;
+  /// Level of the terminal node: below every real variable.
+  static constexpr std::uint32_t kTermLevel = 0xFFFFFFFFu;
+
+  struct CacheEntry {
+    Ref f = kInvalid;
+    Ref g = kInvalid;
+    Ref h = kInvalid;
+    Ref result = kInvalid;
+  };
+
+  [[nodiscard]] std::uint32_t level(Ref f) const { return var_[f >> 1]; }
+  /// Cofactors of `f` at `lvl` (a level at or above f's top level).
+  [[nodiscard]] Ref cof(Ref f, std::uint32_t lvl, bool value) const {
+    if (level(f) != lvl) return f;
+    const Ref edge = value ? hi_[f >> 1] : lo_[f >> 1];
+    return edge ^ (f & 1u);
+  }
+
+  /// Finds or creates the canonical node (v, hi, lo). hi/lo must be valid.
+  Ref mk(std::uint32_t v, Ref hi, Ref lo);
+  void grow_table();
+
+  /// Arena: parallel per-node arrays (node 0 is the terminal). hi_ edges are
+  /// always regular (complement normalized onto the node's output edge).
+  std::vector<std::uint32_t> var_;
+  std::vector<Ref> hi_;
+  std::vector<Ref> lo_;
+
+  /// Open-addressed unique table over (var, hi, lo); power-of-two capacity,
+  /// entries are node indices (0 = empty slot; the terminal is never hashed).
+  std::vector<std::uint32_t> table_;
+  std::uint32_t table_mask_ = 0;
+
+  /// Direct-mapped computed cache — bounded by construction, overwrite on
+  /// collision, no growth and no eviction policy to keep determinism trivial.
+  std::vector<CacheEntry> cache_;
+
+  std::uint32_t budget_ = kDefaultBudget;
+  bool exhausted_ = false;
+  BddStats stats_;
+};
+
+}  // namespace vpga::bdd

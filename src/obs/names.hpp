@@ -35,7 +35,7 @@ inline constexpr std::array<std::string_view, 21> kSpanNames = {
 /// exposes them; `flow.alloc_*` are the run-wide memtrack totals (per-span
 /// totals are the dynamic "<span>.alloc_bytes" family, exempt by
 /// construction like every concatenated name).
-inline constexpr std::array<std::string_view, 45> kMetricNames = {
+inline constexpr std::array<std::string_view, 60> kMetricNames = {
     "map.cuts_enumerated", "map.match_attempts", "map.dp_rounds", "map.nodes_emitted",
     "compact.cover_rounds",
     "pack.groups", "pack.grow_attempts", "pack.spiral_relocations", "pack.displacement_um",
@@ -49,8 +49,13 @@ inline constexpr std::array<std::string_view, 45> kMetricNames = {
     "verify.checks", "verify.findings", "verify.errors", "verify.equiv.vectors",
     "verify.via_budget.overruns",
     "cec.points", "cec.tier_struct", "cec.tier_table", "cec.tier_exhaustive",
-    "cec.tier_sat", "cec.npn_rejects", "cec.sweep_merges", "cec.unknown",
+    "cec.tier_bdd", "cec.tier_sat", "cec.npn_rejects", "cec.sweep_merges", "cec.unknown",
     "cec.cache_hits",
+    "cec.tier_resolved.structural", "cec.tier_resolved.truth", "cec.tier_resolved.bitsim",
+    "cec.tier_resolved.bdd", "cec.tier_resolved.sat",
+    "cec.bdd_nodes", "cec.bdd_ite_calls", "cec.bdd_cache_hits", "cec.bdd_fallbacks",
+    "cec.corr_classes", "cec.corr_rounds", "cec.corr_permuted", "cec.corr_fallbacks",
+    "cec.corr_unmatched",
     "sat.conflicts", "sat.decisions", "sat.propagations", "sat.restarts", "sat.learned",
 };
 

@@ -18,6 +18,7 @@
 /// and therefore verdicts and models, are byte-stable across runs.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/fnmap.hpp"
@@ -32,7 +33,12 @@ class MiterEncoder {
 
   /// Both netlists must agree on inputs().size() and dffs().size() (the CEC
   /// interface check runs first and refuses mismatched pairs).
-  MiterEncoder(const netlist::Netlist& golden, const netlist::Netlist& revised, Solver& solver);
+  /// `revised_state_map`, when non-empty, gives the register correspondence:
+  /// revised DFF d shares the leaf variable of golden DFF
+  /// `revised_state_map[d]` instead of golden DFF d — how the CEC miters
+  /// netlists whose registers were reordered. Empty means positional.
+  MiterEncoder(const netlist::Netlist& golden, const netlist::Netlist& revised, Solver& solver,
+               std::span<const std::uint32_t> revised_state_map = {});
 
   /// Encodes the cone rooted at `node` (a comb node, constant, input, or DFF
   /// — not an output shell) and returns the literal holding its value.
@@ -68,7 +74,7 @@ class MiterEncoder {
   };
   static constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
 
-  void bind_leaves(SideState& ss);
+  void bind_leaves(SideState& ss, std::span<const std::uint32_t> state_map);
   Lit encode_comb(const netlist::Node& n, SideState& ss, netlist::NodeId id);
 
   Solver& solver_;

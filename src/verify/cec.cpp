@@ -1,12 +1,15 @@
 #include "verify/cec.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cstdlib>
 #include <fstream>
 #include <iterator>
 #include <memory>
+#include <span>
 
+#include "bdd/bdd.hpp"
 #include "common/assert.hpp"
 #include "common/fnmap.hpp"
 #include "common/rng.hpp"
@@ -61,47 +64,293 @@ logic::TruthTable cone_table(const Netlist& cone, int num_vars,
   return tts[cone.fanin(cone.outputs()[0], 0).index()];
 }
 
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// A register correspondence between the golden and revised DFF index
+/// spaces: perm maps golden index -> revised index, inv is its inverse.
+/// `kNone` marks a register with no partner; when any exist the
+/// correspondence is incomplete and no point comparison is well defined.
+struct RegisterCorrespondence {
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> perm;
+  std::vector<std::uint32_t> inv;
+  int classes = 0;
+  int rounds = 0;
+  int permuted = 0;
+  int fallbacks = 0;
+  std::vector<std::size_t> unmatched_golden;
+  std::vector<std::size_t> unmatched_revised;
+
+  [[nodiscard]] bool complete() const {
+    return unmatched_golden.empty() && unmatched_revised.empty();
+  }
+};
+
+/// Order-independent structural fingerprint of one D-cone: gate function
+/// words and arities (as a multiset), primary-input leaf indices (PIs
+/// correspond positionally, so their indices are shared currency) and leaf
+/// counts. State leaf *indices* are deliberately excluded — they are what
+/// the correspondence is solving for.
+std::uint64_t dcone_fingerprint(const Netlist& nl, NodeId droot) {
+  const ConeSupport sup = cone_support(nl, droot);
+  std::uint64_t h = mix64(0xF16E52ull + sup.states.size()) ^
+                    mix64((sup.comb_nodes << 16) + sup.inputs.size());
+  for (const std::uint32_t i : sup.inputs) h += mix64(0x1000000ull + i);
+  std::vector<std::uint8_t> visited(nl.num_nodes(), 0);
+  std::vector<NodeId> stack;
+  stack.reserve(sup.comb_nodes + 1);
+  stack.push_back(droot);
+  visited[droot.index()] = 1;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Node& n = nl.node(id);
+    if (n.type != NodeType::kComb) continue;
+    h += mix64(n.func.bits() ^ (static_cast<std::uint64_t>(n.num_fanins()) << 56));
+    for (const NodeId fi : nl.fanins(id)) {
+      if (visited[fi.index()] == 0) {
+        visited[fi.index()] = 1;
+        stack.push_back(fi);
+      }
+    }
+  }
+  return h;
+}
+
+/// Signature-based register correspondence: partition-refine the registers of
+/// both netlists jointly — initial classes from structural D-cone
+/// fingerprints plus the set of outputs observing each register, then rounds
+/// of 256-pattern next-state simulation where every state leaf is driven by a
+/// deterministic word of its *class* (not its index), re-keying each register
+/// by (old class, signature, classes of its reader registers) until the
+/// partition is stable. The class-keyed stimulus propagates *controllability*
+/// forward; the reader-class term propagates *observability* backward — both
+/// are needed, because symmetric twins (two structurally identical timers)
+/// produce identical simulation signatures by construction and only who
+/// *reads* them tells them apart. Classes are side-independent, so pairing
+/// ascending within each class aligns reordered/renamed registers. Registers
+/// left unpaired fall back to their positional partner when that position is
+/// also unpaired (a genuinely diverged D function then refutes as
+/// cec.state-diverges with a witness); anything else is unmatched.
+RegisterCorrespondence match_registers(const Netlist& golden, const Netlist& revised) {
+  RegisterCorrespondence corr;
+  const std::size_t n = golden.dffs().size();
+  corr.perm.assign(n, RegisterCorrespondence::kNone);
+  corr.inv.assign(n, RegisterCorrespondence::kNone);
+  if (n == 0) return corr;
+  const Netlist* nets[2] = {&golden, &revised};
+
+  // Observability structure (per side): which outputs read register d
+  // (outputs correspond by index, so an order-independent hash of the output
+  // set is shared currency), and which registers read register d (as indices
+  // for now; their evolving classes feed every refinement round).
+  std::vector<std::uint64_t> obs[2];
+  std::vector<std::vector<std::uint32_t>> read_by[2];
+  for (int s = 0; s < 2; ++s) {
+    obs[s].assign(n, 0);
+    read_by[s].assign(n, {});
+    for (std::size_t o = 0; o < nets[s]->outputs().size(); ++o) {
+      const ConeSupport sup = cone_support(*nets[s], nets[s]->fanin(nets[s]->outputs()[o], 0));
+      for (const std::uint32_t d : sup.states) obs[s][d] += mix64(0x0B5E57ull + o);
+    }
+    for (std::size_t e = 0; e < n; ++e) {
+      const ConeSupport sup = cone_support(*nets[s], nets[s]->fanin(nets[s]->dffs()[e], 0));
+      for (const std::uint32_t d : sup.states) read_by[s][d].push_back(static_cast<std::uint32_t>(e));
+    }
+  }
+
+  // Round 0: classes from structural fingerprints + output observability,
+  // ids assigned by sorted key order so both sides agree on the numbering.
+  std::vector<std::uint64_t> fp[2];
+  std::vector<std::uint64_t> keys;
+  keys.reserve(2 * n);
+  for (int s = 0; s < 2; ++s) {
+    fp[s].reserve(n);
+    for (std::size_t d = 0; d < n; ++d) {
+      fp[s].push_back(dcone_fingerprint(*nets[s], nets[s]->fanin(nets[s]->dffs()[d], 0)) +
+                      obs[s][d]);
+    }
+    keys.insert(keys.end(), fp[s].begin(), fp[s].end());
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<std::uint32_t> cls[2];
+  for (int s = 0; s < 2; ++s) {
+    cls[s].resize(n);
+    for (std::size_t d = 0; d < n; ++d) {
+      cls[s][d] = static_cast<std::uint32_t>(
+          std::lower_bound(keys.begin(), keys.end(), fp[s][d]) - keys.begin());
+    }
+  }
+  std::size_t num_classes = keys.size();
+
+  // Shared primary-input stimulus (fixed seed: byte-stable correspondence).
+  constexpr int kWords = 4;  // 4 x 64 = 256 patterns per signature
+  common::Rng rng(0xC025E5F0ull);
+  const std::size_t ni = golden.inputs().size();
+  std::vector<std::uint64_t> in_words(ni * kWords);
+  for (auto& w : in_words) w = rng.next_u64();
+
+  struct RefineKey {
+    std::array<std::uint64_t, 6> t;  // (old class, 256-bit signature, readers)
+    std::uint32_t side_d;            // side << 31 | register index
+  };
+  std::vector<std::uint64_t> sig(2 * n * kWords);
+  std::vector<RefineKey> refine(2 * n);
+  for (int round = 1; round <= 64; ++round) {
+    corr.rounds = round;
+    for (int s = 0; s < 2; ++s) {
+      BitSimulator sim(*nets[s]);
+      for (int w = 0; w < kWords; ++w) {
+        for (std::size_t i = 0; i < ni; ++i) {
+          sim.set_input(i, in_words[static_cast<std::size_t>(w) * ni + i]);
+        }
+        for (std::size_t d = 0; d < n; ++d) {
+          sim.set_state(d, mix64(0xABCDull + (std::uint64_t{cls[s][d]} << 8) +
+                                 static_cast<std::uint64_t>(w)));
+        }
+        sim.eval();
+        for (std::size_t d = 0; d < n; ++d) {
+          sig[(static_cast<std::size_t>(s) * n + d) * kWords + static_cast<std::size_t>(w)] =
+              sim.next_state(d);
+        }
+      }
+    }
+    for (int s = 0; s < 2; ++s) {
+      for (std::size_t d = 0; d < n; ++d) {
+        RefineKey& k = refine[static_cast<std::size_t>(s) * n + d];
+        k.t[0] = cls[s][d];
+        for (int w = 0; w < kWords; ++w) {
+          k.t[static_cast<std::size_t>(w) + 1] =
+              sig[(static_cast<std::size_t>(s) * n + d) * kWords + static_cast<std::size_t>(w)];
+        }
+        // Backward observability: the multiset of classes reading this
+        // register (order-independent sum, refined as the partition splits).
+        std::uint64_t readers = 0;
+        for (const std::uint32_t e : read_by[s][d]) readers += mix64(0x4EADull + cls[s][e]);
+        k.t[5] = readers;
+        k.side_d = (static_cast<std::uint32_t>(s) << 31) | static_cast<std::uint32_t>(d);
+      }
+    }
+    std::sort(refine.begin(), refine.end(), [](const RefineKey& a, const RefineKey& b) {
+      return a.t != b.t ? a.t < b.t : a.side_d < b.side_d;
+    });
+    std::uint32_t next_id = 0;
+    for (std::size_t i = 0; i < refine.size(); ++i) {
+      if (i > 0 && refine[i].t != refine[i - 1].t) ++next_id;
+      const int s = static_cast<int>(refine[i].side_d >> 31);
+      cls[s][refine[i].side_d & 0x7FFFFFFFu] = next_id;
+    }
+    // The key carries the old class, so the partition only ever splits;
+    // an unchanged class count is the fixpoint.
+    if (static_cast<std::size_t>(next_id) + 1 == num_classes) break;
+    num_classes = static_cast<std::size_t>(next_id) + 1;
+  }
+  corr.classes = static_cast<int>(num_classes);
+
+  // Pair ascending within each class, then the positional fallback.
+  std::vector<std::vector<std::uint32_t>> members[2];
+  for (int s = 0; s < 2; ++s) {
+    members[s].resize(num_classes);
+    for (std::size_t d = 0; d < n; ++d) {
+      members[s][cls[s][d]].push_back(static_cast<std::uint32_t>(d));
+    }
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const auto& gm = members[0][c];
+    const auto& rm = members[1][c];
+    const std::size_t k = std::min(gm.size(), rm.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      corr.perm[gm[i]] = rm[i];
+      corr.inv[rm[i]] = gm[i];
+    }
+  }
+  for (std::size_t d = 0; d < n; ++d) {
+    if (corr.perm[d] == RegisterCorrespondence::kNone &&
+        corr.inv[d] == RegisterCorrespondence::kNone) {
+      corr.perm[d] = static_cast<std::uint32_t>(d);
+      corr.inv[d] = static_cast<std::uint32_t>(d);
+      ++corr.fallbacks;
+    }
+  }
+  for (std::size_t d = 0; d < n; ++d) {
+    if (corr.perm[d] == RegisterCorrespondence::kNone) corr.unmatched_golden.push_back(d);
+    if (corr.inv[d] == RegisterCorrespondence::kNone) corr.unmatched_revised.push_back(d);
+    if (corr.perm[d] != RegisterCorrespondence::kNone && corr.perm[d] != d) ++corr.permuted;
+  }
+  return corr;
+}
+
 /// One stage boundary's worth of point checks: structural signatures, the
 /// lazily-built miter solver, and all loop scratch live here so the per-point
 /// path never allocates beyond genuine growth.
 class PointChecker {
  public:
-  PointChecker(const Netlist& golden, const Netlist& revised, const CecOptions& opts,
-               CecReport& report)
-      : golden_(golden), revised_(revised), opts_(opts), report_(report) {
+  PointChecker(const Netlist& golden, const Netlist& revised,
+               const RegisterCorrespondence& corr, const CecOptions& opts, CecReport& report)
+      : golden_(golden), revised_(revised), corr_(corr), opts_(opts), report_(report) {
     for (int i = 0; i < 6; ++i) lanes_[i] = lane_word(i);
     if (opts_.structural_tier) {
-      side_signatures(golden_, sig_[0]);
-      side_signatures(revised_, sig_[1]);
+      side_signatures(golden_, sig_[0], {});
+      side_signatures(revised_, sig_[1], corr_.inv);
     }
   }
 
-  /// Checks output `idx` (is_state == false) or DFF D-function `idx`
-  /// (is_state == true). Returns false when a counterexample stopped the scan.
+  /// Checks output `idx` (is_state == false) or golden DFF D-function `idx`
+  /// against its correspondence partner (is_state == true). Returns false
+  /// when a counterexample stopped the scan.
   bool check_point(std::size_t idx, bool is_state) {
     ++report_.checks;
     const NodeId ga = is_state ? golden_.fanin(golden_.dffs()[idx], 0)
                                : golden_.fanin(golden_.outputs()[idx], 0);
-    const NodeId rb = is_state ? revised_.fanin(revised_.dffs()[idx], 0)
+    const NodeId rb = is_state ? revised_.fanin(revised_.dffs()[corr_.perm[idx]], 0)
                                : revised_.fanin(revised_.outputs()[idx], 0);
 
-    if (opts_.structural_tier && sig_[0][ga.index()] == sig_[1][rb.index()]) {
+    if (opts_.structural_tier && !opts_.force_bdd &&
+        sig_[0][ga.index()] == sig_[1][rb.index()]) {
       ++report_.tier_struct;
       return true;
     }
 
     const ConeSupport sup_a = cone_support(golden_, ga);
-    const ConeSupport sup_b = cone_support(revised_, rb);
+    ConeSupport sup_b = cone_support(revised_, rb);
+    // Revised state leaves live in the revised index space; the
+    // correspondence maps them onto golden indices so both supports merge in
+    // one shared space.
+    for (std::uint32_t& s : sup_b.states) s = corr_.inv[s];
+    std::sort(sup_b.states.begin(), sup_b.states.end());
     merged_.inputs.clear();
     merged_.states.clear();
     std::set_union(sup_a.inputs.begin(), sup_a.inputs.end(), sup_b.inputs.begin(),
                    sup_b.inputs.end(), std::back_inserter(merged_.inputs));
     std::set_union(sup_a.states.begin(), sup_a.states.end(), sup_b.states.begin(),
                    sup_b.states.end(), std::back_inserter(merged_.states));
+    // The revised extract needs the same leaves back in its own index space,
+    // preserving the merged leaf order so column j means the same variable
+    // on both sides.
+    merged_rev_.inputs = merged_.inputs;
+    merged_rev_.states.clear();
+    for (const std::uint32_t s : merged_.states) merged_rev_.states.push_back(corr_.perm[s]);
     const int m = static_cast<int>(merged_.num_leaves());
 
+    if (opts_.force_bdd) {
+      bool resolved = false;
+      const bool scan = check_by_bdd(idx, is_state, ga, rb, m, resolved);
+      if (resolved) return scan;
+      return check_by_sat(idx, is_state, ga, rb);
+    }
     if (m <= logic::TruthTable::kMaxVars) return check_by_table(idx, is_state, ga, rb, m);
     if (m <= opts_.max_exhaustive_inputs) return check_by_sweep(idx, is_state, ga, rb, m);
+    if (opts_.bdd_tier) {
+      bool resolved = false;
+      const bool scan = check_by_bdd(idx, is_state, ga, rb, m, resolved);
+      if (resolved) return scan;
+    }
     return check_by_sat(idx, is_state, ga, rb);
   }
 
@@ -115,7 +364,7 @@ class PointChecker {
   /// with the NPN canonical table as the <= 4-var inequivalence pre-filter.
   bool check_by_table(std::size_t idx, bool is_state, NodeId ga, NodeId rb, int m) {
     const Netlist ca = extract_cone(golden_, ga, merged_);
-    const Netlist cb = extract_cone(revised_, rb, merged_);
+    const Netlist cb = extract_cone(revised_, rb, merged_rev_);
     const logic::TruthTable ta = cone_table(ca, m, tts_, args_);
     const logic::TruthTable tb = cone_table(cb, m, tts_, args_);
     bool npn_reject = false;
@@ -141,7 +390,7 @@ class PointChecker {
   bool check_by_sweep(std::size_t idx, bool is_state, NodeId ga, NodeId rb, int m) {
     VPGA_ASSERT(m > 6 && m <= 16);
     const Netlist ca = extract_cone(golden_, ga, merged_);
-    const Netlist cb = extract_cone(revised_, rb, merged_);
+    const Netlist cb = extract_cone(revised_, rb, merged_rev_);
     BitSimulator sa(ca);
     BitSimulator sb(cb);
     for (int i = 0; i < 6; ++i) {
@@ -169,12 +418,132 @@ class PointChecker {
     return true;
   }
 
-  /// Tier 4: per-point miter under a selector assumption on the shared
+  /// Tier 4: both cones become ROBDDs in one manager under a shared
+  /// DFS-derived variable order, so the verdict is a root-edge compare and a
+  /// refutation is one satisfying path of the XOR of the roots. Sets
+  /// `resolved` false when the node budget ran out — the point then falls
+  /// through to SAT instead of this tier growing without bound.
+  bool check_by_bdd(std::size_t idx, bool is_state, NodeId ga, NodeId rb, int m,
+                    bool& resolved) {
+    const Netlist ca = extract_cone(golden_, ga, merged_);
+    const Netlist cb = extract_cone(revised_, rb, merged_rev_);
+    bdd::BddManager mgr(opts_.bdd_node_budget);
+    bdd_order(ca, cb);
+    const bdd::Ref fa = cone_bdd(mgr, ca);
+    const bdd::Ref fb = cone_bdd(mgr, cb);
+    bdd::Ref miter = bdd::kInvalid;
+    if (fa != bdd::kInvalid && fb != bdd::kInvalid && fa != fb) {
+      miter = mgr.bdd_xor(fa, fb);
+    }
+    report_.bdd_nodes += static_cast<long long>(mgr.num_nodes());
+    report_.bdd_ite_calls += mgr.stats().ite_calls;
+    report_.bdd_cache_hits += mgr.stats().cache_hits;
+    if (mgr.exhausted()) {
+      ++report_.bdd_fallbacks;
+      resolved = false;
+      return true;
+    }
+    resolved = true;
+    ++report_.tier_bdd;
+    if (fa == fb) return true;
+    // Canonicity: distinct roots mean the XOR is satisfiable — walk one path.
+    const bool sat = mgr.one_sat(miter, static_cast<std::uint32_t>(m), path_vals_);
+    VPGA_ASSERT(sat && "distinct ROBDD roots must have a satisfiable XOR");
+    leaf_vals_.assign(static_cast<std::size_t>(m), 0);
+    for (std::size_t j = 0; j < merged_.num_leaves(); ++j) {
+      leaf_vals_[j] = path_vals_[bdd_level_[j]];
+    }
+    record_cex_from_leaves(idx, is_state, leaf_vals_);
+    return false;
+  }
+
+  static constexpr std::uint32_t kNoLevel = 0xFFFFFFFFu;
+
+  /// Assigns BDD levels to the merged leaves in depth-first discovery order
+  /// from the golden cone's root (revised-only leaves follow, then leaves
+  /// neither cone reads). DFS discovery keeps the leaves of one subcone on
+  /// adjacent levels — a static cut-width-style order that keeps chained and
+  /// tree-shaped arithmetic linear-sized.
+  void bdd_order(const Netlist& ca, const Netlist& cb) {
+    bdd_level_.assign(merged_.num_leaves(), kNoLevel);
+    std::uint32_t next = 0;
+    bdd_order_dfs(ca, next);
+    bdd_order_dfs(cb, next);
+    for (std::size_t j = 0; j < bdd_level_.size(); ++j) {
+      if (bdd_level_[j] == kNoLevel) bdd_level_[j] = next++;
+    }
+  }
+
+  void bdd_order_dfs(const Netlist& cone, std::uint32_t& next) {
+    // cone.inputs()[j] is merged leaf j by construction of extract_cone.
+    bdd_leaf_of_.assign(cone.num_nodes(), kNoLevel);
+    for (std::size_t j = 0; j < cone.inputs().size(); ++j) {
+      bdd_leaf_of_[cone.inputs()[j].index()] = static_cast<std::uint32_t>(j);
+    }
+    bdd_visited_.assign(cone.num_nodes(), 0);
+    bdd_stack_.clear();
+    const NodeId root = cone.fanin(cone.outputs()[0], 0);
+    bdd_stack_.push_back(root);
+    bdd_visited_[root.index()] = 1;
+    while (!bdd_stack_.empty()) {
+      const NodeId id = bdd_stack_.back();
+      bdd_stack_.pop_back();
+      const std::uint32_t leaf = bdd_leaf_of_[id.index()];
+      if (leaf != kNoLevel && bdd_level_[leaf] == kNoLevel) bdd_level_[leaf] = next++;
+      const Node& nd = cone.node(id);
+      if (nd.type != NodeType::kComb) continue;
+      const std::span<const NodeId> fis = cone.fanins(id);
+      for (std::size_t k = fis.size(); k-- > 0;) {  // reverse push: fanin 0 first
+        if (bdd_visited_[fis[k].index()] == 0) {
+          bdd_visited_[fis[k].index()] = 1;
+          bdd_stack_.push_back(fis[k]);
+        }
+      }
+    }
+  }
+
+  /// Builds the ROBDD of an extracted cone under the shared level map.
+  bdd::Ref cone_bdd(bdd::BddManager& mgr, const Netlist& cone) {
+    bdd_refs_.assign(cone.num_nodes(), bdd::kInvalid);
+    for (std::size_t j = 0; j < cone.inputs().size(); ++j) {
+      bdd_refs_[cone.inputs()[j].index()] = mgr.var(bdd_level_[j]);
+    }
+    for (const NodeId id : cone.all_nodes()) {
+      const Node& nd = cone.node(id);
+      if (nd.type == NodeType::kConst) {
+        bdd_refs_[id.index()] = nd.func.eval(0) ? bdd::kTrue : bdd::kFalse;
+      }
+    }
+    for (const NodeId id : cone.topo_order()) {
+      const Node& nd = cone.node(id);
+      if (nd.type != NodeType::kComb) continue;
+      bdd::Ref args[logic::TruthTable::kMaxVars] = {};
+      const std::span<const NodeId> fis = cone.fanins(id);
+      for (std::size_t k = 0; k < fis.size(); ++k) args[k] = bdd_refs_[fis[k].index()];
+      bdd_refs_[id.index()] = gate_bdd(mgr, nd.func, args, static_cast<int>(fis.size()));
+      if (mgr.exhausted()) return bdd::kInvalid;
+    }
+    return bdd_refs_[cone.fanin(cone.outputs()[0], 0).index()];
+  }
+
+  /// Shannon-expands a gate's truth table over its fanin BDDs (arity <= 6, so
+  /// the recursion is at most depth 6 with 2^6 leaves).
+  static bdd::Ref gate_bdd(bdd::BddManager& mgr, const logic::TruthTable& tt,
+                           const bdd::Ref* args, int k) {
+    if (tt.bits() == 0) return bdd::kFalse;
+    if (tt == logic::TruthTable::constant(k, true)) return bdd::kTrue;
+    // Non-constant => k >= 1.
+    const bdd::Ref hi = gate_bdd(mgr, tt.cofactor(k - 1, true), args, k - 1);
+    const bdd::Ref lo = gate_bdd(mgr, tt.cofactor(k - 1, false), args, k - 1);
+    return mgr.ite(args[k - 1], hi, lo);
+  }
+
+  /// Tier 5: per-point miter under a selector assumption on the shared
   /// incremental solver.
   bool check_by_sat(std::size_t idx, bool is_state, NodeId ga, NodeId rb) {
     if (!solver_) {
       solver_ = std::make_unique<sat::Solver>();
-      encoder_ = std::make_unique<sat::MiterEncoder>(golden_, revised_, *solver_);
+      encoder_ = std::make_unique<sat::MiterEncoder>(golden_, revised_, *solver_, corr_.inv);
       if (opts_.sat_sweep) sat_sweep();
     }
     const sat::Lit la = encoder_->encode(sat::MiterEncoder::Side::kGolden, ga);
@@ -230,8 +599,8 @@ class PointChecker {
     const std::size_t width = golden_.inputs().size() + golden_.dffs().size();
     stimulus_.resize(width * static_cast<std::size_t>(kSweepWords));
     for (auto& w : stimulus_) w = rng.next_u64();
-    sim_signatures(golden_, sweep_sig_[0]);
-    sim_signatures(revised_, sweep_sig_[1]);
+    sim_signatures(golden_, sweep_sig_[0], {});
+    sim_signatures(revised_, sweep_sig_[1], corr_.inv);
     for (const NodeId id : golden_.topo_order()) {
       if (golden_.node(id).type != NodeType::kComb) continue;
       const sat::Lit lit = encoder_->encode(sat::MiterEncoder::Side::kGolden, id);
@@ -245,8 +614,11 @@ class PointChecker {
   }
 
   /// Evaluates kSweepWords shared stimulus words through `nl`, storing every
-  /// node's response words contiguously in `sig`.
-  void sim_signatures(const Netlist& nl, std::vector<std::uint64_t>& sig) {
+  /// node's response words contiguously in `sig`. `state_key` (the revised
+  /// side's correspondence) redirects each DFF to its golden partner's
+  /// stimulus word so corresponding leaves see identical patterns.
+  void sim_signatures(const Netlist& nl, std::vector<std::uint64_t>& sig,
+                      std::span<const std::uint32_t> state_key) {
     sig.assign(nl.num_nodes() * static_cast<std::size_t>(kSweepWords), 0);
     BitSimulator sim(nl);
     const std::size_t ni = nl.inputs().size();
@@ -254,7 +626,9 @@ class PointChecker {
       const std::uint64_t* words = stimulus_.data() +
                                    static_cast<std::size_t>(w) * (ni + nl.dffs().size());
       for (std::size_t i = 0; i < ni; ++i) sim.set_input(i, words[i]);
-      for (std::size_t d = 0; d < nl.dffs().size(); ++d) sim.set_state(d, words[ni + d]);
+      for (std::size_t d = 0; d < nl.dffs().size(); ++d) {
+        sim.set_state(d, words[ni + (state_key.empty() ? d : state_key[d])]);
+      }
       sim.eval();
       for (const NodeId id : nl.all_nodes()) {
         sig[id.index() * static_cast<std::size_t>(kSweepWords) + static_cast<std::size_t>(w)] =
@@ -306,18 +680,28 @@ class PointChecker {
   /// Expands a merged-support row (low 6 bits in `row`, leaves >= 6 in
   /// `block`) into a full-interface counterexample and stores it.
   void record_cex_from_row(std::size_t idx, bool is_state, unsigned row, std::uint32_t block) {
+    leaf_vals_.assign(merged_.num_leaves(), 0);
+    for (std::size_t j = 0; j < merged_.num_leaves(); ++j) {
+      leaf_vals_[j] = j < 6 ? static_cast<std::uint8_t>((row >> j) & 1u)
+                            : static_cast<std::uint8_t>((block >> (j - 6)) & 1u);
+    }
+    record_cex_from_leaves(idx, is_state, leaf_vals_);
+  }
+
+  /// Expands one 0/1 value per merged leaf (BDD path or exhaustive row) into
+  /// a full-interface counterexample and stores it. State leaves are golden
+  /// indices, so the witness is always expressed on the golden interface.
+  void record_cex_from_leaves(std::size_t idx, bool is_state,
+                              const std::vector<std::uint8_t>& leaves) {
     CecCounterexample cex;
     cex.inputs.assign(golden_.inputs().size(), 0);
     cex.state.assign(golden_.dffs().size(), 0);
     const std::size_t ni = merged_.inputs.size();
     for (std::size_t j = 0; j < merged_.num_leaves(); ++j) {
-      const std::uint8_t v =
-          j < 6 ? static_cast<std::uint8_t>((row >> j) & 1u)
-                : static_cast<std::uint8_t>((block >> (j - 6)) & 1u);
       if (j < ni) {
-        cex.inputs[merged_.inputs[j]] = v;
+        cex.inputs[merged_.inputs[j]] = leaves[j];
       } else {
-        cex.state[merged_.states[j - ni]] = v;
+        cex.state[merged_.states[j - ni]] = leaves[j];
       }
     }
     verify_and_store(idx, is_state, std::move(cex));
@@ -337,12 +721,12 @@ class PointChecker {
     for (std::size_t d = 0; d < cex.state.size(); ++d) {
       const std::uint64_t w = cex.state[d] != 0 ? ~std::uint64_t{0} : 0;
       sg.set_state(d, w);
-      sr.set_state(d, w);
+      sr.set_state(corr_.perm[d], w);  // the revised partner sees the same value
     }
     sg.eval();
     sr.eval();
     const std::uint64_t vg = is_state ? sg.next_state(idx) : sg.output(idx);
-    const std::uint64_t vr = is_state ? sr.next_state(idx) : sr.output(idx);
+    const std::uint64_t vr = is_state ? sr.next_state(corr_.perm[idx]) : sr.output(idx);
     VPGA_ASSERT_MSG((vg & 1) != (vr & 1), "CEC counterexample failed simulation replay");
     cex.point_index = idx;
     cex.is_state = is_state;
@@ -360,7 +744,10 @@ class PointChecker {
 
   /// Shared structural signatures: identical cones — across both netlists —
   /// get identical dense ids, making tier 1 a single compare per point.
-  void side_signatures(const Netlist& nl, std::vector<std::uint32_t>& sig) {
+  /// `state_key` (the revised side's correspondence) keys each DFF leaf by
+  /// its golden partner so corresponding registers share a signature.
+  void side_signatures(const Netlist& nl, std::vector<std::uint32_t>& sig,
+                       std::span<const std::uint32_t> state_key) {
     sig.assign(nl.num_nodes(), 0);
     common::FnKey key;
     for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
@@ -372,7 +759,7 @@ class PointChecker {
     for (std::size_t d = 0; d < nl.dffs().size(); ++d) {
       key = common::FnKey();
       key.tag = 2;
-      key.bits = d;
+      key.bits = state_key.empty() ? d : state_key[d];
       sig[nl.dffs()[d].index()] = fresh_sig(key);
     }
     for (const NodeId id : nl.all_nodes()) {
@@ -400,6 +787,7 @@ class PointChecker {
 
   const Netlist& golden_;
   const Netlist& revised_;
+  const RegisterCorrespondence& corr_;
   const CecOptions& opts_;
   CecReport& report_;
   std::uint64_t lanes_[6] = {};
@@ -409,8 +797,17 @@ class PointChecker {
   std::vector<std::uint64_t> stimulus_;
   std::vector<std::uint64_t> sweep_sig_[2];
   ConeSupport merged_;
+  ConeSupport merged_rev_;  ///< merged support in the revised index space
   std::vector<logic::TruthTable> tts_;
   std::vector<logic::TruthTable> args_;
+  // BDD-tier scratch, hoisted like the rest of the per-point loop state.
+  std::vector<std::uint32_t> bdd_level_;
+  std::vector<std::uint32_t> bdd_leaf_of_;
+  std::vector<std::uint8_t> bdd_visited_;
+  std::vector<NodeId> bdd_stack_;
+  std::vector<bdd::Ref> bdd_refs_;
+  std::vector<std::uint8_t> path_vals_;
+  std::vector<std::uint8_t> leaf_vals_;
   std::unique_ptr<sat::Solver> solver_;
   std::unique_ptr<sat::MiterEncoder> encoder_;
 };
@@ -472,6 +869,16 @@ std::uint64_t netlist_fingerprint(const Netlist& nl) {
   return h;
 }
 
+namespace {
+
+std::string dff_display_name(const Netlist& nl, std::size_t d) {
+  const std::string& name = nl.name_of(nl.dffs()[d]);
+  if (!name.empty()) return name;
+  return "dff[" + std::to_string(d) + "]";
+}
+
+}  // namespace
+
 CecReport check_combinational_equivalence(const Netlist& golden, const Netlist& revised,
                                           const CecOptions& opts) {
   CecReport report;
@@ -482,7 +889,23 @@ CecReport check_combinational_equivalence(const Netlist& golden, const Netlist& 
     report.equivalent = false;
     return report;
   }
-  PointChecker checker(golden, revised, opts, report);
+  const RegisterCorrespondence corr = match_registers(golden, revised);
+  report.corr_classes = corr.classes;
+  report.corr_rounds = corr.rounds;
+  report.corr_permuted = corr.permuted;
+  report.corr_fallbacks = corr.fallbacks;
+  if (!corr.complete()) {
+    // Without a state bijection the point comparison is not well defined:
+    // report the orphans and let the caller surface cec.state-unmatched.
+    for (const std::size_t d : corr.unmatched_golden) {
+      report.unmatched_registers.push_back(dff_display_name(golden, d));
+    }
+    for (const std::size_t d : corr.unmatched_revised) {
+      report.unmatched_registers.push_back("revised:" + dff_display_name(revised, d));
+    }
+    return report;
+  }
+  PointChecker checker(golden, revised, corr, opts, report);
   bool scanning = true;
   for (std::size_t o = 0; scanning && o < golden.outputs().size(); ++o) {
     scanning = checker.check_point(o, false);
@@ -497,16 +920,39 @@ CecReport check_combinational_equivalence(const Netlist& golden, const Netlist& 
 void check_cec(const Netlist& golden, const Netlist& revised, const std::string& stage,
                VerifyReport& report, const CecOptions& opts) {
   const obs::Span span("verify.cec");
-  const CecReport cec = check_combinational_equivalence(golden, revised, opts);
+  CecOptions eff = opts;
+  // CI's forced-BDD exact run flips the tier routing from the outside.
+  if (const char* force = std::getenv("VPGA_CEC_FORCE_BDD");
+      force != nullptr && force[0] != '\0' && force[0] != '0') {
+    eff.force_bdd = true;
+  }
+  const CecReport cec = check_combinational_equivalence(golden, revised, eff);
 
   obs::count("cec.points", cec.checks);
   obs::count("cec.tier_struct", cec.tier_struct);
   obs::count("cec.tier_table", cec.tier_table);
   obs::count("cec.tier_exhaustive", cec.tier_exhaustive);
+  obs::count("cec.tier_bdd", cec.tier_bdd);
   obs::count("cec.tier_sat", cec.tier_sat);
   obs::count("cec.npn_rejects", cec.npn_rejects);
   obs::count("cec.sweep_merges", cec.sweep_merges);
   obs::count("cec.unknown", cec.unknown);
+  // The per-point tier-resolution family: one counter per ladder tier, so
+  // BENCH_flow.json and the OpenMetrics export break down where points land.
+  obs::count("cec.tier_resolved.structural", cec.tier_struct);
+  obs::count("cec.tier_resolved.truth", cec.tier_table);
+  obs::count("cec.tier_resolved.bitsim", cec.tier_exhaustive);
+  obs::count("cec.tier_resolved.bdd", cec.tier_bdd);
+  obs::count("cec.tier_resolved.sat", cec.tier_sat);
+  obs::count("cec.bdd_nodes", cec.bdd_nodes);
+  obs::count("cec.bdd_ite_calls", cec.bdd_ite_calls);
+  obs::count("cec.bdd_cache_hits", cec.bdd_cache_hits);
+  obs::count("cec.bdd_fallbacks", cec.bdd_fallbacks);
+  obs::count("cec.corr_classes", cec.corr_classes);
+  obs::count("cec.corr_rounds", cec.corr_rounds);
+  obs::count("cec.corr_permuted", cec.corr_permuted);
+  obs::count("cec.corr_fallbacks", cec.corr_fallbacks);
+  obs::count("cec.corr_unmatched", static_cast<long long>(cec.unmatched_registers.size()));
   obs::count("sat.conflicts", cec.sat_stats.conflicts);
   obs::count("sat.decisions", cec.sat_stats.decisions);
   obs::count("sat.propagations", cec.sat_stats.propagations);
@@ -524,6 +970,14 @@ void check_cec(const Netlist& golden, const Netlist& revised, const std::string&
                    std::to_string(revised.dffs().size()));
     return;
   }
+  if (!cec.unmatched_registers.empty()) {
+    report.add(Severity::kError, "cec.state-unmatched", stage, NodeId(),
+               std::to_string(cec.unmatched_registers.size()) +
+                   " register(s) have no correspondence partner (signature refinement and "
+                   "positional fallback both failed), first: " +
+                   cec.unmatched_registers.front());
+    return;
+  }
   if (cec.cex.has_value()) {
     const CecCounterexample& cex = *cec.cex;
     if (const char* path = std::getenv("VPGA_CEC_CEX_PATH"); path != nullptr) {
@@ -539,7 +993,7 @@ void check_cec(const Netlist& golden, const Netlist& revised, const std::string&
   if (cec.unknown > 0) {
     report.add(Severity::kWarning, "cec.resource-limit", stage, NodeId(),
                std::to_string(cec.unknown) + " point(s) exhausted the SAT conflict budget (" +
-                   std::to_string(opts.sat_conflict_budget) + "), first: " +
+                   std::to_string(eff.sat_conflict_budget) + "), first: " +
                    cec.unknown_points.front());
   }
 }

@@ -14,7 +14,13 @@
 ///      tables (<= 4 vars) as an O(1) inequivalence pre-filter.
 ///   3. exhaustive: union support up to `max_exhaustive_inputs` is swept
 ///      completely with the 64-way bit simulator (2^n / 64 evaluations).
-///   4. SAT: everything else becomes a per-point miter over one incremental
+///   4. BDD: both cones are built as ROBDDs (bdd/bdd.hpp) in one manager
+///      under a shared, DFS-derived variable order, so equivalence is a root
+///      edge compare. A hard node budget bounds the tier; exhausting it falls
+///      through to SAT instead of growing. This is the complete tier for
+///      XOR-dominated cones (parity chains, carry trees) where CDCL clause
+///      learning scales exponentially but BDDs stay linear.
+///   5. SAT: everything else becomes a per-point miter over one incremental
 ///      CDCL solver (sat/solver.hpp) — selector assumptions retire solved
 ///      points while learned clauses carry over to the next. Before the first
 ///      miter, a SAT-sweeping pass simulates both netlists on shared
@@ -22,6 +28,16 @@
 ///      the candidates bottom-up, merging equal nodes across the two sides so
 ///      deep miters (multiplier outputs, wide datapaths) collapse instead of
 ///      exploding.
+///
+/// Sequential netlists are first aligned by *register correspondence*:
+/// instead of assuming DFF i on one side is DFF i on the other, registers are
+/// partition-refined by 256-pattern next-state simulation signatures plus
+/// structural cone fingerprints (jointly over both sides, so class ids are
+/// side-independent), then paired within classes. Netlists whose registers
+/// were reordered or renamed therefore still verify; registers with no
+/// signature-compatible partner on the other side are reported via
+/// cec.state-unmatched and no point comparison is attempted (without a state
+/// bijection the combinational comparison is not well defined).
 ///
 /// Any inequivalence produces a full-interface counterexample which is
 /// replayed through the bit simulator on the *original* netlists before
@@ -33,6 +49,7 @@
 ///   cec.interface-mismatch  PI/PO/DFF counts differ between the netlists
 ///   cec.output-diverges     a primary output function differs (cex attached)
 ///   cec.state-diverges      a DFF next-state function differs (cex attached)
+///   cec.state-unmatched     a register has no correspondence partner
 ///   cec.resource-limit      a point exhausted the SAT conflict budget
 
 #include <cstdint>
@@ -58,6 +75,17 @@ struct CecOptions {
   /// Run the SAT-sweeping pass before the first miter (disable to benchmark
   /// the raw per-point solver).
   bool sat_sweep = true;
+  /// Run the BDD tier between the exhaustive sweep and SAT (disable to
+  /// benchmark the raw SAT tier).
+  bool bdd_tier = true;
+  /// Per-point node budget for the BDD tier; exhausting it abandons the
+  /// point's BDDs and falls through to SAT instead of growing without bound.
+  std::uint32_t bdd_node_budget = 1u << 18;
+  /// Route every point straight to the BDD tier, bypassing the structural,
+  /// truth-table and exhaustive tiers (SAT remains the exhaustion fallback).
+  /// The CI forced-BDD exact run sets this via VPGA_CEC_FORCE_BDD=1, which
+  /// the check_cec wrapper honours.
+  bool force_bdd = false;
 };
 
 /// A witness assignment over the full golden interface: inputs[i] / state[d]
@@ -79,6 +107,7 @@ struct CecReport {
   int tier_struct = 0;      ///< settled by structural signatures
   int tier_table = 0;       ///< settled by truth-table comparison
   int tier_exhaustive = 0;  ///< settled by exhaustive bit simulation
+  int tier_bdd = 0;         ///< settled by ROBDD root comparison
   int tier_sat = 0;         ///< settled by the SAT miter
   int npn_rejects = 0;      ///< inequivalences pre-filtered by NPN canon
   long long sweep_merges = 0;  ///< internal nodes proven equal by SAT sweeping
@@ -87,9 +116,22 @@ struct CecReport {
   std::optional<CecCounterexample> cex;
   sat::SolverStats sat_stats;
   long long hashcons_hits = 0;
+  /// BDD tier statistics (cumulative over every point the tier attempted).
+  long long bdd_nodes = 0;      ///< nodes allocated across all per-point managers
+  long long bdd_ite_calls = 0;  ///< non-terminal ITE recursions
+  long long bdd_cache_hits = 0; ///< computed-cache hits
+  int bdd_fallbacks = 0;        ///< budget exhaustions that fell through to SAT
+  /// Register-correspondence statistics (zero on purely combinational pairs).
+  int corr_classes = 0;   ///< refinement classes at the fixpoint
+  int corr_rounds = 0;    ///< refinement rounds until the fixpoint
+  int corr_permuted = 0;  ///< registers matched away from their position
+  int corr_fallbacks = 0; ///< signature-unmatched registers paired positionally
+  /// Registers with no partner ("name" golden side, "revised:name" revised
+  /// side). Non-empty => no point comparison ran (see file comment).
+  std::vector<std::string> unmatched_registers;
 
   [[nodiscard]] bool proven() const {
-    return interface_ok && equivalent && unknown == 0;
+    return interface_ok && equivalent && unknown == 0 && unmatched_registers.empty();
   }
 };
 

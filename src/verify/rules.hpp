@@ -12,7 +12,7 @@
 
 namespace vpga::verify {
 
-inline constexpr std::array<std::string_view, 27> kRuleCatalogue = {
+inline constexpr std::array<std::string_view, 28> kRuleCatalogue = {
     // Structural lint (any stage).
     "lint.invalid-fanin",
     "lint.undriven-dff",
@@ -46,6 +46,7 @@ inline constexpr std::array<std::string_view, 27> kRuleCatalogue = {
     "cec.interface-mismatch",
     "cec.output-diverges",
     "cec.state-diverges",
+    "cec.state-unmatched",
     "cec.resource-limit",
 };
 

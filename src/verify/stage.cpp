@@ -1,5 +1,7 @@
 #include "verify/stage.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -236,9 +238,15 @@ void check_post_route(const Netlist& nl, const pack::PackedDesign& packed,
           core::vias_for_config(static_cast<ConfigKind>(n.config_tag));
   }
 
-  // Routing-tap vias: a connection leaving its driver's tile taps up to the
-  // routing layers at the driver and back down at the sink — one candidate
-  // site consumed in each tile it terminates in.
+  // Routing-tap vias, counted per *net*: a net leaving its driver's tile
+  // taps up to the routing layers once at the driver, and taps back down
+  // once in every tile where it terminates — in-tile fanout then distributes
+  // on the tile's local interconnect without further via sites. (The
+  // previous per-connection model charged a high-fanout driver one tap per
+  // external sink, which overstated hot tiles by the net's external fanout
+  // and tripped this gate on the network switch's distribution nets.)
+  std::vector<std::uint64_t> taps;  // (driver index << 32) | sink tile
+  taps.reserve(nl.num_nodes());
   for (NodeId id : nl.all_nodes()) {
     const int sink_tile = tile_of(id);
     if (sink_tile < 0) continue;
@@ -246,8 +254,20 @@ void check_post_route(const Netlist& nl, const pack::PackedDesign& packed,
       if (!in_range(nl, fi)) continue;
       const int driver_tile = tile_of(fi);
       if (driver_tile < 0 || driver_tile == sink_tile) continue;
-      ++usage[static_cast<std::size_t>(sink_tile)];
-      ++usage[static_cast<std::size_t>(driver_tile)];
+      taps.push_back(static_cast<std::uint64_t>(fi.index()) << 32 |
+                     static_cast<std::uint32_t>(sink_tile));
+    }
+  }
+  std::sort(taps.begin(), taps.end());
+  taps.erase(std::unique(taps.begin(), taps.end()), taps.end());
+  std::uint32_t last_driver = 0xFFFFFFFFu;
+  for (const std::uint64_t tap : taps) {
+    const auto driver = static_cast<std::uint32_t>(tap >> 32);
+    const auto sink_tile = static_cast<std::uint32_t>(tap);
+    ++usage[sink_tile];
+    if (driver != last_driver) {
+      last_driver = driver;
+      ++usage[static_cast<std::size_t>(tile_of(NodeId(driver)))];
     }
   }
 

@@ -58,8 +58,10 @@ void check_post_pack(const netlist::Netlist& nl, const pack::PackedDesign& packe
                      VerifyReport& report);
 
 /// Via-budget legality of the routed array: each tile's programmed
-/// configuration vias plus one tap via per net connection crossing its
-/// boundary must fit within the tile's candidate via sites.
+/// configuration vias plus its per-net routing taps — one tap-up via at the
+/// driver's tile per net that leaves it, one tap-down via per distinct sink
+/// tile, however many connections the net serves there — must fit within the
+/// tile's candidate via sites.
 void check_post_route(const netlist::Netlist& nl, const pack::PackedDesign& packed,
                       const core::PlbArchitecture& arch, const std::string& stage,
                       VerifyReport& report);

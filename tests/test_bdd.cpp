@@ -1,0 +1,152 @@
+// Unit tests for the ROBDD package (src/bdd/bdd.hpp): canonicity under
+// complement edges, ITE identities, budget discipline and byte-stable
+// determinism — the properties the CEC's BDD tier relies on.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+
+namespace vpga::bdd {
+namespace {
+
+TEST(Bdd, TerminalsAndComplement) {
+  EXPECT_EQ(bdd_not(kTrue), kFalse);
+  EXPECT_EQ(bdd_not(kFalse), kTrue);
+  EXPECT_EQ(bdd_not(bdd_not(kTrue)), kTrue);
+  EXPECT_EQ(bdd_not(kInvalid), kInvalid);
+}
+
+TEST(Bdd, IteIdentities) {
+  BddManager m;
+  const Ref a = m.var(0);
+  const Ref b = m.var(1);
+  // Terminal cases.
+  EXPECT_EQ(m.ite(kTrue, a, b), a);
+  EXPECT_EQ(m.ite(kFalse, a, b), b);
+  EXPECT_EQ(m.ite(a, kTrue, kFalse), a);
+  EXPECT_EQ(m.ite(a, kFalse, kTrue), bdd_not(a));
+  EXPECT_EQ(m.ite(a, b, b), b);
+  // Boolean algebra through the derived connectives.
+  EXPECT_EQ(m.bdd_and(a, kTrue), a);
+  EXPECT_EQ(m.bdd_and(a, kFalse), kFalse);
+  EXPECT_EQ(m.bdd_and(a, a), a);
+  EXPECT_EQ(m.bdd_and(a, bdd_not(a)), kFalse);
+  EXPECT_EQ(m.bdd_or(a, bdd_not(a)), kTrue);
+  EXPECT_EQ(m.bdd_xor(a, a), kFalse);
+  EXPECT_EQ(m.bdd_xor(a, kFalse), a);
+  EXPECT_EQ(m.bdd_xor(a, kTrue), bdd_not(a));
+  // Commutativity lands on the same edge — that's canonicity.
+  EXPECT_EQ(m.bdd_and(a, b), m.bdd_and(b, a));
+  EXPECT_EQ(m.bdd_xor(a, b), m.bdd_xor(b, a));
+}
+
+TEST(Bdd, ComplementEdgeCanonicity) {
+  BddManager m;
+  const Ref a = m.var(0);
+  const Ref b = m.var(1);
+  // De Morgan must hold at the edge level: !(a&b) == !a | !b, same Ref.
+  EXPECT_EQ(bdd_not(m.bdd_and(a, b)), m.bdd_or(bdd_not(a), bdd_not(b)));
+  // XOR and XNOR differ only by the complement bit — one shared node.
+  const Ref x = m.bdd_xor(a, b);
+  const Ref xn = bdd_not(m.bdd_xor(a, bdd_not(b)));
+  EXPECT_EQ(x, xn);
+  // A function and its complement share a node: building both must not
+  // allocate twice. (a&b) and !(a&b):
+  const std::size_t before = m.num_nodes();
+  const Ref nand_ab = m.ite(m.bdd_and(a, b), kFalse, kTrue);
+  EXPECT_EQ(nand_ab, bdd_not(m.bdd_and(a, b)));
+  EXPECT_EQ(m.num_nodes(), before);
+}
+
+TEST(Bdd, EvalMatchesSemantics) {
+  BddManager m;
+  const Ref a = m.var(0);
+  const Ref b = m.var(1);
+  const Ref c = m.var(2);
+  const Ref f = m.bdd_xor(m.bdd_and(a, b), c);  // (a&b)^c
+  for (int bits = 0; bits < 8; ++bits) {
+    const std::vector<std::uint8_t> v = {static_cast<std::uint8_t>(bits & 1),
+                                         static_cast<std::uint8_t>((bits >> 1) & 1),
+                                         static_cast<std::uint8_t>((bits >> 2) & 1)};
+    const bool expect = ((v[0] & v[1]) ^ v[2]) != 0;
+    EXPECT_EQ(m.eval(f, v), expect) << "assignment " << bits;
+  }
+}
+
+TEST(Bdd, OneSatWitnessesAndIsFalseOnFalse) {
+  BddManager m;
+  const Ref a = m.var(0);
+  const Ref b = m.var(1);
+  const Ref f = m.bdd_and(bdd_not(a), b);  // !a & b has exactly one model
+  std::vector<std::uint8_t> v;
+  ASSERT_TRUE(m.one_sat(f, 2, v));
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[1], 1);
+  EXPECT_TRUE(m.eval(f, v));
+  EXPECT_FALSE(m.one_sat(kFalse, 2, v));
+}
+
+TEST(Bdd, BudgetExhaustionPoisonsNotCrashes) {
+  // A tiny budget on a function needing many nodes: the manager must go
+  // exhausted and answer kInvalid forever after, never grow past the cap.
+  BddManager m(/*node_budget=*/8);
+  Ref parity = kFalse;
+  for (std::uint32_t v = 0; v < 32; ++v) parity = m.bdd_xor(parity, m.var(v));
+  EXPECT_TRUE(m.exhausted());
+  EXPECT_EQ(parity, kInvalid);
+  EXPECT_LE(m.num_nodes(), 8u);
+  // Sticky: even trivial operations now refuse.
+  EXPECT_EQ(m.ite(kTrue, kTrue, kFalse), kInvalid);
+  EXPECT_EQ(m.var(0), kInvalid);
+}
+
+TEST(Bdd, NodeIdsAndStatsAreByteStable) {
+  // The same build sequence must produce identical edges, node counts and
+  // stats across managers — the determinism contract the CEC depends on.
+  auto build = [](std::vector<Ref>& edges, BddStats& stats, std::size_t& nodes) {
+    BddManager m;
+    Ref parity = kFalse;
+    Ref majority = kFalse;
+    for (std::uint32_t v = 0; v < 16; ++v) {
+      parity = m.bdd_xor(parity, m.var(v));
+      majority = m.ite(m.var(v), m.bdd_or(majority, m.var((v + 1) % 16)), majority);
+      edges.push_back(parity);
+      edges.push_back(majority);
+    }
+    stats = m.stats();
+    nodes = m.num_nodes();
+  };
+  std::vector<Ref> e1, e2;
+  BddStats s1, s2;
+  std::size_t n1 = 0, n2 = 0;
+  build(e1, s1, n1);
+  build(e2, s2, n2);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(s1.unique_hits, s2.unique_hits);
+  EXPECT_EQ(s1.cache_hits, s2.cache_hits);
+  EXPECT_EQ(s1.ite_calls, s2.ite_calls);
+}
+
+TEST(Bdd, WideParityStaysLinear) {
+  // Parity is the BDD sweet spot: n variables need O(n) nodes under any
+  // order. Building 64-bit parity incrementally also materializes every
+  // prefix parity (there is no garbage collection), so the arena holds
+  // O(n^2) nodes total — still tiny next to the CEC tier's 2^18 budget.
+  BddManager m(/*node_budget=*/1u << 14);
+  Ref parity = kFalse;
+  for (std::uint32_t v = 0; v < 64; ++v) parity = m.bdd_xor(parity, m.var(v));
+  EXPECT_FALSE(m.exhausted());
+  EXPECT_NE(parity, kInvalid);
+  // Root-compare: the same parity built in reverse order is the same edge.
+  Ref rev = kFalse;
+  for (std::uint32_t v = 64; v-- > 0;) rev = m.bdd_xor(rev, m.var(v));
+  EXPECT_EQ(parity, rev);
+}
+
+}  // namespace
+}  // namespace vpga::bdd

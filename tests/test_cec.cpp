@@ -68,6 +68,81 @@ Netlist make_and_tree(int width, int mutate_at = -1) {
   return nl;
 }
 
+/// How a parity chain folds its inputs. Parity is fully symmetric, so every
+/// fold computes the same function — but through disjoint internal nodes, so
+/// structural hashing and signature sweeping find nothing to merge between
+/// two different folds and the verdict rests entirely on the closing tier.
+enum class Fold {
+  kForward,   ///< x0 ^ x1 ^ x2 ^ ...
+  kReversed,  ///< ... ^ x2 ^ x1 ^ x0 (suffix parities vs prefix parities)
+  /// A fixed pseudo-random input order. The XOR miter of a forward vs a
+  /// shuffled fold is a Tseitin formula over the union of two Hamiltonian
+  /// paths — an expander, the canonical resolution-hard family — while the
+  /// BDD of every intermediate (a parity of some input subset) stays linear
+  /// under any variable order. This is the shape that separates the tiers.
+  kShuffled,
+};
+
+Netlist make_parity_chain(int width, Fold fold) {
+  Netlist nl("parity");
+  std::vector<NodeId> xs;
+  for (int i = 0; i < width; ++i) xs.push_back(nl.add_input("x" + std::to_string(i)));
+  std::vector<std::size_t> ord(static_cast<std::size_t>(width));
+  for (std::size_t i = 0; i < ord.size(); ++i)
+    ord[i] = fold == Fold::kReversed ? ord.size() - 1 - i : i;
+  if (fold == Fold::kShuffled) {  // deterministic Fisher-Yates, fixed seed
+    std::uint64_t s = 0x9E3779B97F4A7C15ull;
+    for (std::size_t i = ord.size() - 1; i > 0; --i) {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      std::swap(ord[i], ord[(s >> 33) % (i + 1)]);
+    }
+  }
+  NodeId acc = xs[ord[0]];
+  for (std::size_t i = 1; i < ord.size(); ++i) acc = nl.add_xor(acc, xs[ord[i]]);
+  nl.add_output(acc, "p");
+  return nl;
+}
+
+/// Clones `src` with its registers *declared* in `perm` order (new DFF
+/// position i holds the register at src position perm[i]); every function and
+/// wire is otherwise identical. Positional DFF matching mislabels such a pair
+/// as diverged — only register correspondence recovers the bijection.
+Netlist permute_registers(const Netlist& src, const std::vector<std::size_t>& perm) {
+  Netlist dst(src.name());
+  std::vector<NodeId> map(src.num_nodes());
+  // DFF Q pins act as combinational leaves, so declaring every register up
+  // front (in permuted order) keeps all later references resolvable.
+  for (const std::size_t at : perm) {
+    const NodeId old = src.dffs()[at];
+    map[old.index()] = dst.add_dff(NodeId(), src.name_of(old));
+  }
+  for (const NodeId id : src.all_nodes()) {
+    const auto& n = src.node(id);
+    switch (n.type) {
+      case netlist::NodeType::kInput:
+        map[id.index()] = dst.add_input(src.name_of(id));
+        break;
+      case netlist::NodeType::kConst:
+        map[id.index()] = dst.add_constant((n.func.bits() & 1u) != 0);
+        break;
+      case netlist::NodeType::kComb: {
+        std::vector<NodeId> fins;
+        for (const NodeId f : src.fanins(id)) fins.push_back(map[f.index()]);
+        map[id.index()] = dst.add_comb(n.func, fins, src.name_of(id));
+        break;
+      }
+      case netlist::NodeType::kOutput:
+        dst.add_output(map[src.fanin(id, 0).index()], src.name_of(id));
+        break;
+      case netlist::NodeType::kDff:
+        break;  // declared above; D wired below once its cone exists
+    }
+  }
+  for (const NodeId dff : src.dffs())
+    dst.set_dff_input(map[dff.index()], map[src.fanin(dff, 0).index()]);
+  return dst;
+}
+
 /// The random-stimulus gate at its defaults (64 cycles x 64 lanes) — used to
 /// demonstrate which mutations it misses.
 bool random_equiv_passes(const Netlist& golden, const Netlist& revised) {
@@ -216,13 +291,14 @@ TEST(Cec, InterfaceMismatchRefusesToCompare) {
 }
 
 TEST(Cec, ExhaustedBudgetReportsUnknownNotVerdict) {
-  // With the sweep disabled, the exhaustive tier capped below the adders'
-  // support and a zero conflict budget, wide points must come back unknown —
-  // never a wrong verdict.
+  // With the sweep and BDD tiers disabled, the exhaustive tier capped below
+  // the adders' support and a zero conflict budget, wide points must come
+  // back unknown — never a wrong verdict.
   const Netlist ripple = designs::make_ripple_adder(16);
   const Netlist prefix = designs::make_prefix_adder(16);
   CecOptions opts;
   opts.sat_sweep = false;
+  opts.bdd_tier = false;
   opts.max_exhaustive_inputs = 6;
   opts.sat_conflict_budget = 0;
   const CecReport rep = check_combinational_equivalence(ripple, prefix, opts);
@@ -274,6 +350,117 @@ TEST(Cec, ProofStatisticsAreByteStable) {
   EXPECT_EQ(again.sweep_merges, first.sweep_merges);
   EXPECT_EQ(again.sat_stats.conflicts, first.sat_stats.conflicts);
   EXPECT_EQ(again.sat_stats.propagations, first.sat_stats.propagations);
+}
+
+TEST(Cec, WideParityConeBeyondSatBudgetProvesByBdd) {
+  // 128-input parity, forward vs shuffled fold: the XOR miter is an
+  // expander-graph Tseitin formula, so with the BDD tier disabled the SAT
+  // miter exhausts the *default* conflict budget (2^20 conflicts — this arm
+  // deliberately burns them to prove the separation), while the default
+  // ladder proves the same point in the BDD tier without a SAT fallback.
+  const Netlist fwd = make_parity_chain(128, Fold::kForward);
+  const Netlist shuf = make_parity_chain(128, Fold::kShuffled);
+  CecOptions sat_only;
+  sat_only.bdd_tier = false;
+  sat_only.sat_sweep = false;
+  const CecReport hard = check_combinational_equivalence(fwd, shuf, sat_only);
+  EXPECT_TRUE(hard.equivalent);  // never a wrong verdict...
+  EXPECT_GT(hard.unknown, 0);    // ...the point is undecided within budget
+  EXPECT_FALSE(hard.proven());
+  EXPECT_GE(hard.sat_stats.conflicts, CecOptions{}.sat_conflict_budget);
+
+  const CecReport rep = check_combinational_equivalence(fwd, shuf);
+  EXPECT_TRUE(rep.proven());
+  EXPECT_EQ(rep.tier_bdd, 1);
+  EXPECT_EQ(rep.bdd_fallbacks, 0);
+  EXPECT_EQ(rep.unknown, 0);
+}
+
+TEST(Cec, ParityChainMutationRefutedByBddWithWitness) {
+  // Complement one inner XOR of the reversed fold: the diff is parity-flipped
+  // on every assignment touching that link, and the BDD tier must return a
+  // replay-verified counterexample rather than just "not equal".
+  const Netlist fwd = make_parity_chain(24, Fold::kForward);
+  Netlist mutated = make_parity_chain(24, Fold::kReversed);
+  for (const NodeId id : mutated.all_nodes()) {
+    auto& n = mutated.node(id);
+    if (n.type == netlist::NodeType::kComb) {
+      n.func = ~n.func;  // XOR -> XNOR on the first chain link
+      break;
+    }
+  }
+  const CecReport rep = check_combinational_equivalence(fwd, mutated);
+  EXPECT_FALSE(rep.equivalent);
+  ASSERT_TRUE(rep.cex.has_value());
+  EXPECT_TRUE(cex_witnesses_diff(fwd, mutated, *rep.cex));
+}
+
+TEST(Cec, PermutedRegistersProveViaCorrespondence) {
+  // Reverse the declaration order of the counter's registers: position-based
+  // matching would compare bit 0's next-state against bit 7's and refute a
+  // correct design. Correspondence must recover the bijection and prove.
+  const Netlist golden = designs::make_counter(8);
+  std::vector<std::size_t> perm(golden.dffs().size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = perm.size() - 1 - i;
+  const Netlist revised = permute_registers(golden, perm);
+  const CecReport rep = check_combinational_equivalence(golden, revised);
+  EXPECT_TRUE(rep.proven()) << "permuted counter must verify";
+  EXPECT_GT(rep.corr_permuted, 0);
+  EXPECT_EQ(rep.corr_fallbacks, 0);
+  EXPECT_TRUE(rep.unmatched_registers.empty());
+}
+
+TEST(Cec, PermutedPaperDesignProvesExactly) {
+  // The acceptance gate: a register-permuted variant of a paper design (the
+  // sequential-dominated Firewire controller) passes the exact gate through
+  // register correspondence, end to end via the check_cec wrapper.
+  const Netlist golden = designs::make_firewire(4, 8).netlist;
+  ASSERT_GT(golden.dffs().size(), 1u);
+  std::vector<std::size_t> perm(golden.dffs().size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = perm.size() - 1 - i;
+  const Netlist revised = permute_registers(golden, perm);
+  const CecReport rep = check_combinational_equivalence(golden, revised);
+  EXPECT_TRUE(rep.proven()) << "permuted firewire must verify";
+  EXPECT_GT(rep.corr_permuted, 0);
+
+  VerifyReport r;
+  check_cec(golden, revised, "test", r);
+  EXPECT_EQ(r.error_count(), 0) << r.summary();
+  EXPECT_EQ(r.warning_count(), 0) << r.summary();
+}
+
+TEST(Cec, ForcedBddTierIsCompleteAndByteStable) {
+  // force_bdd routes every point straight to the BDD tier (SAT remains only
+  // as the exhaustion fallback); verdict and statistics must be byte-stable.
+  const Netlist ripple = designs::make_ripple_adder(12);
+  const Netlist prefix = designs::make_prefix_adder(12);
+  CecOptions opts;
+  opts.force_bdd = true;
+  const CecReport first = check_combinational_equivalence(ripple, prefix, opts);
+  EXPECT_TRUE(first.proven());
+  EXPECT_EQ(first.tier_struct, 0);
+  EXPECT_EQ(first.tier_table, 0);
+  EXPECT_EQ(first.tier_exhaustive, 0);
+  EXPECT_EQ(first.tier_bdd, first.checks);
+  const CecReport again = check_combinational_equivalence(ripple, prefix, opts);
+  EXPECT_EQ(again.bdd_nodes, first.bdd_nodes);
+  EXPECT_EQ(again.bdd_ite_calls, first.bdd_ite_calls);
+  EXPECT_EQ(again.bdd_cache_hits, first.bdd_cache_hits);
+}
+
+TEST(Cec, BddBudgetExhaustionFallsThroughToSat) {
+  // A node budget too small for the adders' BDDs: the tier must give up
+  // cleanly (bdd_fallbacks counts it) and SAT still proves the points.
+  const Netlist ripple = designs::make_ripple_adder(12);
+  const Netlist prefix = designs::make_prefix_adder(12);
+  CecOptions opts;
+  opts.force_bdd = true;
+  opts.bdd_node_budget = 16;
+  opts.sat_sweep = false;  // real per-point miters, so the fallback shows as tier_sat
+  const CecReport rep = check_combinational_equivalence(ripple, prefix, opts);
+  EXPECT_TRUE(rep.proven()) << "SAT fallback must close what the BDD budget cannot";
+  EXPECT_GT(rep.bdd_fallbacks, 0);
+  EXPECT_GT(rep.tier_sat, 0);
 }
 
 TEST(Cec, PaperSuiteMapsProveExactly) {

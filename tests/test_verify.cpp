@@ -529,9 +529,42 @@ TEST(Cec, CorruptedNextStateFiresStateDiverges) {
   expect_fired(r, "cec.state-diverges");
 }
 
+TEST(Cec, CrossPositionOrphanRegistersFireStateUnmatched) {
+  // Golden registers: [X: a&b, Y: a^b]. Revised registers: [Y: a^b, Z: a|b].
+  // Y finds its class-mate across positions; the leftovers X (golden, pos 0)
+  // and Z (revised, pos 1) sit at different positions, so even the positional
+  // fallback cannot pair them — the correspondence is incomplete and the
+  // checker must refuse to compare points rather than guess a bijection.
+  Netlist golden;
+  {
+    const NodeId a = golden.add_input("a");
+    const NodeId b = golden.add_input("b");
+    const NodeId x = golden.add_dff(NodeId(), "X");
+    const NodeId y = golden.add_dff(NodeId(), "Y");
+    golden.set_dff_input(x, golden.add_and(a, b));
+    golden.set_dff_input(y, golden.add_xor(a, b));
+    golden.add_output(golden.add_or(x, y), "o");
+  }
+  Netlist revised;
+  {
+    const NodeId a = revised.add_input("a");
+    const NodeId b = revised.add_input("b");
+    const NodeId y = revised.add_dff(NodeId(), "Y");
+    const NodeId z = revised.add_dff(NodeId(), "Z");
+    revised.set_dff_input(y, revised.add_xor(a, b));
+    revised.set_dff_input(z, revised.add_or(a, b));
+    revised.add_output(revised.add_or(y, z), "o");
+  }
+  VerifyReport r;
+  check_cec(golden, revised, "test", r);
+  expect_fired(r, "cec.state-unmatched");
+  EXPECT_GT(r.error_count(), 0);
+}
+
 TEST(Cec, ExhaustedBudgetFiresResourceLimit) {
   CecOptions opts;
   opts.sat_sweep = false;
+  opts.bdd_tier = false;
   opts.max_exhaustive_inputs = 6;
   opts.sat_conflict_budget = 0;
   VerifyReport r;
